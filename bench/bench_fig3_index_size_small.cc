@@ -1,0 +1,16 @@
+// Reproduces Figure 3: index size (number of stored integers), small graphs.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace reach::bench;
+  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  RunTable(
+      "Figure 3: index size (integers), small graphs",
+      "PW8/INT smallest; DL consistently <= 2HOP (the paper's surprise "
+      "result, attributed to non-redundancy); HL comparable to 2HOP; "
+      "DL and HL < TF; GL = 2*k*n by construction",
+      reach::SmallDatasets(), Metric::kIndexIntegers, WorkloadKind::kNone,
+      config);
+  return 0;
+}

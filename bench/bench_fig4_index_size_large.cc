@@ -1,0 +1,16 @@
+// Reproduces Figure 4: index size (number of stored integers), large graphs.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace reach::bench;
+  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
+  RunTable(
+      "Figure 4: index size (integers), large graphs",
+      "DL smaller than HL and close to (or better than) 2HOP where 2HOP "
+      "runs; PW8/INT small where closures compress; GL/KR larger; TF "
+      "slightly above DL",
+      reach::LargeDatasets(), Metric::kIndexIntegers, WorkloadKind::kNone,
+      config);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Google-benchmark micro benchmarks for the hot primitives: sorted-vector
+// intersection (the query inner loop), bitset row unions (TC construction),
+// PWAH compress/probe, bounded BFS, and end-to-end DL/HL/GRAIL builds on a
+// fixed mid-size graph.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/grail.h"
+#include "baselines/pwah.h"
+#include "core/distribution_labeling.h"
+#include "core/hierarchical_labeling.h"
+#include "graph/generators.h"
+#include "graph/transitive_closure.h"
+#include "util/rng.h"
+#include "util/sorted_ops.h"
+
+namespace {
+
+using namespace reach;
+
+std::vector<uint32_t> RandomSortedVector(size_t n, uint32_t universe,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<uint32_t>(rng.Uniform(universe)));
+  }
+  SortUnique(&v);
+  return v;
+}
+
+void BM_SortedIntersects(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedVector(len, 1 << 20, 1);
+  auto b = RandomSortedVector(len, 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersects(a, b));
+  }
+}
+BENCHMARK(BM_SortedIntersects)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_BitsetUnion(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitset a(bits);
+  Bitset b(bits);
+  Rng rng(3);
+  for (size_t i = 0; i < bits / 16; ++i) {
+    a.Set(rng.Uniform(bits));
+    b.Set(rng.Uniform(bits));
+  }
+  for (auto _ : state) {
+    a.UnionWith(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bits / 8);
+}
+BENCHMARK(BM_BitsetUnion)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PwahCompress(benchmark::State& state) {
+  const size_t bits = 1 << 18;
+  Bitset b(bits);
+  Rng rng(4);
+  const double density = 1.0 / static_cast<double>(state.range(0));
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(density)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PwahBitset::Compress(b));
+  }
+}
+BENCHMARK(BM_PwahCompress)->Arg(2)->Arg(64)->Arg(4096);
+
+void BM_PwahTest(benchmark::State& state) {
+  const size_t bits = 1 << 18;
+  Bitset b(bits);
+  Rng rng(5);
+  for (size_t i = 0; i < bits / 64; ++i) b.Set(rng.Uniform(bits));
+  PwahBitset compressed = PwahBitset::Compress(b);
+  uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 7919) % bits;
+    benchmark::DoNotOptimize(compressed.Test(probe));
+  }
+}
+BENCHMARK(BM_PwahTest);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  Digraph g = RandomDag(static_cast<size_t>(state.range(0)),
+                        static_cast<size_t>(state.range(0)) * 3, 6);
+  for (auto _ : state) {
+    auto tc = TransitiveClosure::Compute(g);
+    benchmark::DoNotOptimize(tc);
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(500)->Arg(2000);
+
+void BM_BuildDL(benchmark::State& state) {
+  Digraph g = CitationDag(static_cast<size_t>(state.range(0)), 3.0, 7);
+  for (auto _ : state) {
+    DistributionLabelingOracle oracle;
+    benchmark::DoNotOptimize(oracle.Build(g));
+  }
+}
+BENCHMARK(BM_BuildDL)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BuildHL(benchmark::State& state) {
+  Digraph g = CitationDag(static_cast<size_t>(state.range(0)), 3.0, 7);
+  for (auto _ : state) {
+    HierarchicalLabelingOracle oracle;
+    benchmark::DoNotOptimize(oracle.Build(g));
+  }
+}
+BENCHMARK(BM_BuildHL)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BuildGrail(benchmark::State& state) {
+  Digraph g = CitationDag(static_cast<size_t>(state.range(0)), 3.0, 7);
+  for (auto _ : state) {
+    GrailOracle oracle;
+    benchmark::DoNotOptimize(oracle.Build(g));
+  }
+}
+BENCHMARK(BM_BuildGrail)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_QueryDL(benchmark::State& state) {
+  Digraph g = CitationDag(20000, 3.0, 8);
+  DistributionLabelingOracle oracle;
+  if (!oracle.Build(g).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(9);
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(rng.Uniform(20000));
+    const Vertex v = static_cast<Vertex>(rng.Uniform(20000));
+    benchmark::DoNotOptimize(oracle.Reachable(u, v));
+  }
+}
+BENCHMARK(BM_QueryDL);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Reproduces Table 1: the dataset inventory (|V|, |E| per graph).
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace reach::bench;
+  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  RunDatasetInventory(reach::SmallDatasets(), reach::LargeDatasets(), config);
+  return 0;
+}

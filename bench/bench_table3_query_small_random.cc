@@ -1,0 +1,16 @@
+// Reproduces Table 3: query time (ms) on the random workload (uniform pairs,
+// mostly negative), 14 small datasets, all methods.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace reach::bench;
+  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  RunTable(
+      "Table 3: query time (ms), random workload, small graphs",
+      "oracles slightly slower than on the equal load (negative queries scan "
+      "whole labels); PT still fastest; GL improves on mostly-negative load",
+      reach::SmallDatasets(), Metric::kQueryMillis, WorkloadKind::kRandom,
+      config);
+  return 0;
+}

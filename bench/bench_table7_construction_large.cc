@@ -1,0 +1,16 @@
+// Reproduces Table 7: construction time, 13 large datasets.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace reach::bench;
+  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
+  RunTable(
+      "Table 7: construction time (ms), large graphs",
+      "DL comparable to the fastest methods and finishes everywhere; HL "
+      "finishes where 2HOP cannot; 2HOP/KR/PT hit the budget on most "
+      "graphs; GL always finishes",
+      reach::LargeDatasets(), Metric::kConstructionMillis, WorkloadKind::kNone,
+      config);
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/factory.h"
+#include "core/distribution_labeling.h"
+#include "query/workload.h"
+#include "util/timer.h"
+
+namespace reach {
+namespace bench {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(value.substr(start));
+      break;
+    }
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<DatasetSpec> FilterDatasets(const std::vector<DatasetSpec>& all,
+                                        const BenchConfig& config) {
+  if (config.datasets.empty()) return all;
+  std::vector<DatasetSpec> out;
+  for (const DatasetSpec& spec : all) {
+    for (const std::string& wanted : config.datasets) {
+      if (spec.name == wanted) out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MethodsFor(const BenchConfig& config) {
+  return config.methods.empty() ? PaperOracleNames() : config.methods;
+}
+
+void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace
+
+BenchConfig SmallTableDefaults() {
+  BenchConfig config;
+  config.num_queries = 100000;
+  config.build_time_budget_seconds = 60;
+  config.build_index_budget_integers = 0;
+  return config;
+}
+
+BenchConfig LargeTableDefaults() {
+  BenchConfig config;
+  config.num_queries = 10000;  // Normalized to ms/100k queries when printed.
+  config.build_time_budget_seconds = 25;
+  // ~600 MB of 32-bit integers; emulates the paper's 32 GB / 24 h budget at
+  // laptop scale and produces the "--" entries of Tables 5-7.
+  config.build_index_budget_integers = 150000000;
+  return config;
+}
+
+BenchConfig ParseArgs(int argc, char** argv, const BenchConfig& defaults) {
+  BenchConfig config = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.quick = true;
+      config.num_queries = 2000;
+      config.build_time_budget_seconds = 5;
+      if (config.build_index_budget_integers == 0 ||
+          config.build_index_budget_integers > 20000000) {
+        config.build_index_budget_integers = 20000000;
+      }
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      config.num_queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      config.datasets = SplitCsv(arg.substr(11));
+    } else if (arg.rfind("--methods=", 0) == 0) {
+      config.methods = SplitCsv(arg.substr(10));
+    } else if (arg.rfind("--budget-seconds=", 0) == 0) {
+      config.build_time_budget_seconds = std::strtod(arg.c_str() + 17, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --quick --queries= --datasets= "
+                   "--methods= --budget-seconds=)\n",
+                   arg.c_str());
+    }
+  }
+  return config;
+}
+
+void RunTable(const std::string& title, const std::string& shape_note,
+              const std::vector<DatasetSpec>& all_datasets, Metric metric,
+              WorkloadKind workload_kind, const BenchConfig& config) {
+  const std::vector<DatasetSpec> datasets = FilterDatasets(all_datasets,
+                                                           config);
+  const std::vector<std::string> methods = MethodsFor(config);
+
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("paper_shape: %s\n", shape_note.c_str());
+  if (metric == Metric::kQueryMillis) {
+    std::printf("metric: total ms per 100,000 queries (measured with %zu)\n",
+                config.num_queries);
+  } else if (metric == Metric::kConstructionMillis) {
+    std::printf("metric: index construction ms\n");
+  } else {
+    std::printf("metric: index size in number of stored integers\n");
+  }
+  std::printf("budget: %.0fs build time%s; '--' = did not finish\n\n",
+              config.build_time_budget_seconds,
+              config.build_index_budget_integers > 0 ? ", capped index" : "");
+
+  // Header.
+  std::printf("%-16s", "dataset");
+  for (const std::string& m : methods) std::printf("%12s", m.c_str());
+  std::printf("\n");
+  PrintRule(16 + 12 * methods.size());
+
+  for (const DatasetSpec& spec : datasets) {
+    const Digraph graph = MakeDataset(spec);
+
+    // Workload (query tables only): ground truth via DL, whose correctness
+    // the test suite establishes independently of any method under test.
+    Workload workload;
+    if (metric == Metric::kQueryMillis) {
+      DistributionLabelingOracle truth;
+      if (!truth.Build(graph).ok()) {
+        std::printf("%-16s  <workload truth build failed>\n",
+                    spec.name.c_str());
+        continue;
+      }
+      WorkloadOptions options;
+      options.num_queries = config.num_queries;
+      options.seed = 7 + spec.seed;
+      workload = workload_kind == WorkloadKind::kEqual
+                     ? MakeEqualWorkload(graph, truth, options)
+                     : MakeRandomWorkload(graph, truth, options);
+    }
+
+    std::printf("%-16s", spec.name.c_str());
+    std::fflush(stdout);
+    for (const std::string& method : methods) {
+      std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(method);
+      if (oracle == nullptr) {
+        std::printf("%12s", "?");
+        continue;
+      }
+      BuildBudget budget;
+      budget.max_seconds = config.build_time_budget_seconds;
+      budget.max_index_integers = config.build_index_budget_integers;
+      oracle->set_budget(budget);
+
+      Timer build_timer;
+      const Status status = oracle->Build(graph);
+      const double build_ms = build_timer.ElapsedMillis();
+      if (!status.ok()) {
+        std::printf("%12s", "--");
+        std::fflush(stdout);
+        continue;
+      }
+
+      switch (metric) {
+        case Metric::kConstructionMillis:
+          std::printf("%12.1f", build_ms);
+          break;
+        case Metric::kIndexIntegers:
+          std::printf("%12llu", static_cast<unsigned long long>(
+                                    oracle->IndexSizeIntegers()));
+          break;
+        case Metric::kQueryMillis: {
+          Timer query_timer;
+          size_t hits = 0;
+          for (const Query& q : workload.queries) {
+            hits += oracle->Reachable(q.from, q.to);
+          }
+          const double ms = query_timer.ElapsedMillis() * 100000.0 /
+                            static_cast<double>(workload.queries.size());
+          // Guard against dead-code elimination of the query loop.
+          if (hits == SIZE_MAX) std::printf("!");
+          std::printf("%12.1f", ms);
+          break;
+        }
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void RunDatasetInventory(const std::vector<DatasetSpec>& small,
+                         const std::vector<DatasetSpec>& large,
+                         const BenchConfig& config) {
+  std::printf("== Table 1: real datasets (synthetic stand-ins) ==\n");
+  std::printf(
+      "paper_shape: 14 small graphs at original scale; 13 large graphs "
+      "scaled down per DESIGN.md 3.1\n\n");
+  std::printf("%-16s %6s %12s %12s %12s %12s %-14s\n", "dataset", "scale",
+              "paper |V|", "paper |E|", "ours |V|", "ours |E|", "family");
+  PrintRule(92);
+  auto print_group = [&](const std::vector<DatasetSpec>& specs) {
+    for (const DatasetSpec& spec : FilterDatasets(specs, config)) {
+      const Digraph g = MakeDataset(spec);
+      std::printf("%-16s %6.3f %12zu %12zu %12zu %12zu %-14s\n",
+                  spec.name.c_str(), spec.scale, spec.paper_vertices,
+                  spec.paper_edges, g.num_vertices(), g.num_edges(),
+                  GraphFamilyName(spec.family).c_str());
+    }
+  };
+  print_group(small);
+  PrintRule(92);
+  print_group(large);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace reach

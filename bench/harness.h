@@ -1,0 +1,66 @@
+// Table harness for the paper-reproduction benchmarks: one binary per table
+// or figure of Section 6 (see DESIGN.md's per-experiment index). Each run
+// prints the paper's rows (datasets) x columns (methods); "--" marks a
+// method that exceeded its construction budget, mirroring the paper's
+// did-not-finish entries.
+
+#ifndef REACH_BENCH_HARNESS_H_
+#define REACH_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "datasets/registry.h"
+
+namespace reach {
+namespace bench {
+
+/// Shared run configuration; tweakable from the command line:
+///   --quick            smoke mode (few queries, tight budgets)
+///   --queries=N        queries per workload
+///   --datasets=a,b,c   restrict to named datasets
+///   --methods=DL,HL    restrict to named methods
+struct BenchConfig {
+  size_t num_queries = 100000;  // The paper times 100,000 queries.
+  double build_time_budget_seconds = 120;
+  uint64_t build_index_budget_integers = 0;  // 0 = unlimited (small tables).
+  std::vector<std::string> datasets;         // Empty = all in the table.
+  std::vector<std::string> methods;          // Empty = paper columns.
+  bool quick = false;
+};
+
+/// Parses command-line flags into a config preloaded with table defaults.
+BenchConfig ParseArgs(int argc, char** argv, const BenchConfig& defaults);
+
+/// What a table cell measures.
+enum class Metric {
+  kQueryMillis,         // Total ms for the configured query count.
+  kConstructionMillis,  // Index build wall time.
+  kIndexIntegers,       // Stored integers (Figures 3/4).
+};
+
+/// Which workload drives kQueryMillis.
+enum class WorkloadKind { kEqual, kRandom, kNone };
+
+/// Runs one full table: datasets x methods under one metric, printing as it
+/// goes. `title` and `shape_note` reproduce the table caption and the
+/// qualitative claim the paper makes about it.
+void RunTable(const std::string& title, const std::string& shape_note,
+              const std::vector<DatasetSpec>& datasets, Metric metric,
+              WorkloadKind workload, const BenchConfig& config);
+
+/// Prints the Table 1 inventory (paper sizes, our scales, actual sizes).
+void RunDatasetInventory(const std::vector<DatasetSpec>& small,
+                         const std::vector<DatasetSpec>& large,
+                         const BenchConfig& config);
+
+/// Default configs for small-graph and large-graph tables.
+BenchConfig SmallTableDefaults();
+BenchConfig LargeTableDefaults();
+
+}  // namespace bench
+}  // namespace reach
+
+#endif  // REACH_BENCH_HARNESS_H_

@@ -1,0 +1,67 @@
+// Ontology subsumption ("is-a") reasoning over a Gene-Ontology-style DAG —
+// the go_uniprot / uniprotenc workload of the paper's Table 1. Terms form a
+// shallow, hub-dominated DAG; queries ask whether one term subsumes another
+// (annotation propagation). Compares HL and DL on the same ontology.
+//
+//   $ ./build/examples/ontology_reasoner [num_terms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distribution_labeling.h"
+#include "core/hierarchical_labeling.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  const size_t num_terms =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+
+  // Edge parent -> child: Reachable(root, t) means "t is-a root".
+  Digraph ontology = StarForestDag(num_terms, 99);
+  std::printf("ontology: %zu terms, %zu is-a edges\n",
+              ontology.num_vertices(), ontology.num_edges());
+
+  Timer hl_timer;
+  HierarchicalLabelingOracle hl;
+  if (Status s = hl.Build(ontology); !s.ok()) {
+    std::fprintf(stderr, "HL build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double hl_ms = hl_timer.ElapsedMillis();
+
+  Timer dl_timer;
+  DistributionLabelingOracle dl;
+  if (Status s = dl.Build(ontology); !s.ok()) {
+    std::fprintf(stderr, "DL build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double dl_ms = dl_timer.ElapsedMillis();
+
+  std::printf("HL: built in %8.1f ms, %9llu integers, %zu hierarchy levels\n",
+              hl_ms,
+              static_cast<unsigned long long>(hl.IndexSizeIntegers()),
+              hl.hierarchy().num_levels());
+  std::printf("DL: built in %8.1f ms, %9llu integers\n", dl_ms,
+              static_cast<unsigned long long>(dl.IndexSizeIntegers()));
+
+  // Subsumption queries: do the two oracles agree (they must)?
+  Rng rng(3);
+  size_t subsumptions = 0;
+  size_t disagreements = 0;
+  const int kQueries = 200000;
+  Timer query_timer;
+  for (int i = 0; i < kQueries; ++i) {
+    const Vertex ancestor = static_cast<Vertex>(rng.Uniform(num_terms / 10));
+    const Vertex term = static_cast<Vertex>(rng.Uniform(num_terms));
+    const bool is_a = dl.Reachable(ancestor, term);
+    subsumptions += is_a;
+    disagreements += (is_a != hl.Reachable(ancestor, term));
+  }
+  std::printf("\n%d subsumption queries in %.1f ms (%zu positive)\n",
+              kQueries, query_timer.ElapsedMillis(), subsumptions);
+  std::printf("HL/DL disagreements: %zu (must be 0)\n", disagreements);
+  return disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "baselines/factory.h"
+
+#include "baselines/chain_oracle.h"
+#include "baselines/grail.h"
+#include "baselines/interval_oracle.h"
+#include "baselines/kreach.h"
+#include "baselines/online_search.h"
+#include "baselines/pruned_landmark.h"
+#include "baselines/pwah.h"
+#include "baselines/scarab.h"
+#include "baselines/twohop.h"
+#include "core/distribution_labeling.h"
+#include "core/hierarchical_labeling.h"
+
+namespace reach {
+
+std::unique_ptr<ReachabilityOracle> MakeOracle(const std::string& name) {
+  if (name == "DL") return std::make_unique<DistributionLabelingOracle>();
+  if (name == "HL") return std::make_unique<HierarchicalLabelingOracle>();
+  if (name == "TF") {
+    return std::make_unique<HierarchicalLabelingOracle>(
+        HierarchicalLabelingOracle::TfLabelOptions());
+  }
+  if (name == "2HOP") return std::make_unique<TwoHopOracle>();
+  if (name == "PL") return std::make_unique<PrunedLandmarkOracle>();
+  if (name == "GL") return std::make_unique<GrailOracle>();
+  if (name == "GL*") {
+    return std::make_unique<ScarabOracle>(
+        "GL*", [] { return std::make_unique<GrailOracle>(); });
+  }
+  if (name == "PT") return std::make_unique<ChainOracle>();
+  if (name == "PT*") {
+    return std::make_unique<ScarabOracle>(
+        "PT*", [] { return std::make_unique<ChainOracle>(); });
+  }
+  if (name == "INT") return std::make_unique<IntervalOracle>();
+  if (name == "PW8") return std::make_unique<PwahOracle>();
+  if (name == "KR") return std::make_unique<KReachOracle>();
+  if (name == "BFS") return std::make_unique<OnlineSearchOracle>();
+  if (name == "BiBFS") {
+    return std::make_unique<OnlineSearchOracle>(SearchKind::kBidirectionalBfs);
+  }
+  if (name == "DFS") {
+    return std::make_unique<OnlineSearchOracle>(SearchKind::kDfs);
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& AllOracleNames() {
+  static const std::vector<std::string> kNames = {
+      "GL", "GL*", "PT", "PT*", "KR",  "PW8",   "INT", "2HOP",
+      "PL", "TF",  "HL", "DL",  "BFS", "BiBFS", "DFS"};
+  return kNames;
+}
+
+const std::vector<std::string>& PaperOracleNames() {
+  static const std::vector<std::string> kNames = {
+      "GL", "GL*", "PT", "PT*", "KR", "PW8", "INT", "2HOP", "PL", "TF", "HL",
+      "DL"};
+  return kNames;
+}
+
+}  // namespace reach

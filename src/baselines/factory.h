@@ -1,0 +1,43 @@
+// Registry of every oracle in the library, keyed by the short names used in
+// the paper's tables. Benches and parameterized tests iterate this registry
+// so each method is exercised identically.
+
+#ifndef REACH_BASELINES_FACTORY_H_
+#define REACH_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+
+namespace reach {
+
+/// Creates an oracle by table name. Known names:
+///   "DL"    Distribution Labeling (this paper)
+///   "HL"    Hierarchical Labeling (this paper)
+///   "TF"    TF-label (HL with epsilon = 1)
+///   "2HOP"  Cohen et al. set-cover 2-hop
+///   "PL"    Pruned Landmark (distance labeling)
+///   "GL"    GRAIL (5 random interval labelings)
+///   "GL*"   SCARAB-scaled GRAIL
+///   "PT"    Path-Tree stand-in (chain-cover compression)
+///   "PT*"   SCARAB-scaled PT
+///   "INT"   Nuutila interval TC compression
+///   "PW8"   PWAH-8 bit-vector TC compression
+///   "KR"    K-Reach (vertex cover, k = infinity)
+///   "BFS"   online breadth-first search (no index)
+///   "BiBFS" online bidirectional BFS (no index)
+/// Returns nullptr for unknown names.
+std::unique_ptr<ReachabilityOracle> MakeOracle(const std::string& name);
+
+/// All registry names, in the column order of the paper's tables.
+const std::vector<std::string>& AllOracleNames();
+
+/// The subset of names used as table columns in the paper's evaluation
+/// (excludes the online-search ground-truth helpers).
+const std::vector<std::string>& PaperOracleNames();
+
+}  // namespace reach
+
+#endif  // REACH_BASELINES_FACTORY_H_

@@ -1,0 +1,125 @@
+#include "baselines/pruned_landmark.h"
+
+#include <algorithm>
+
+#include "core/backbone.h"
+#include "util/timer.h"
+
+namespace reach {
+
+uint32_t PrunedLandmarkOracle::Distance(Vertex u, Vertex v) const {
+  if (u == v) return 0;
+  const auto& a = out_[u];
+  const auto& b = in_[v];
+  uint32_t best = kUnreachable;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].key < b[j].key) {
+      ++i;
+    } else if (b[j].key < a[i].key) {
+      ++j;
+    } else {
+      const uint32_t total = a[i].dist + b[j].dist;
+      best = std::min(best, total);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+Status PrunedLandmarkOracle::Build(const Digraph& dag) {
+  REACH_RETURN_IF_ERROR(
+      internal::ValidateDagInput(dag, "PrunedLandmarkOracle"));
+  Timer timer;
+  const size_t n = dag.num_vertices();
+  out_.assign(n, {});
+  in_.assign(n, {});
+  if (n == 0) return Status::OK();
+
+  // Landmark order: the same degree-product rank the core algorithms use.
+  std::vector<uint64_t> rank(n);
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) {
+    rank[v] = DegreeProductRank(dag, v);
+    order[v] = v;
+  }
+  std::sort(order.begin(), order.end(), [&rank](Vertex a, Vertex b) {
+    return rank[a] != rank[b] ? rank[a] > rank[b] : a < b;
+  });
+
+  std::vector<uint32_t> mark(n, 0);
+  std::vector<uint32_t> dist(n, 0);
+  uint32_t epoch = 0;
+  std::vector<Vertex> queue;
+  for (uint32_t key = 0; key < n; ++key) {
+    const Vertex hop = order[key];
+    // Forward pruned BFS: hop reaches w at distance d => consider adding
+    // (hop, d) to Lin(w), unless existing labels already certify
+    // Distance(hop, w) <= d.
+    ++epoch;
+    queue.clear();
+    queue.push_back(hop);
+    mark[hop] = epoch;
+    dist[hop] = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex x = queue[head];
+      const uint32_t d = dist[x];
+      if (Distance(hop, x) <= d && x != hop) continue;  // Prune subtree.
+      if (x == hop || Distance(hop, x) > d) {
+        in_[x].push_back(Entry{key, d});
+      }
+      for (Vertex w : dag.OutNeighbors(x)) {
+        if (mark[w] != epoch) {
+          mark[w] = epoch;
+          dist[w] = d + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    // Backward pruned BFS: u reaches hop at distance d => (hop, d) in
+    // Lout(u) unless already certified.
+    ++epoch;
+    queue.clear();
+    queue.push_back(hop);
+    mark[hop] = epoch;
+    dist[hop] = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex x = queue[head];
+      const uint32_t d = dist[x];
+      if (Distance(x, hop) <= d && x != hop) continue;
+      if (x == hop || Distance(x, hop) > d) {
+        out_[x].push_back(Entry{key, d});
+      }
+      for (Vertex w : dag.InNeighbors(x)) {
+        if (mark[w] != epoch) {
+          mark[w] = epoch;
+          dist[w] = d + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    if ((key & 0x3ff) == 0 && budget_.max_seconds > 0 &&
+        timer.ElapsedSeconds() > budget_.max_seconds) {
+      return Status::ResourceExhausted("PL over time budget");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t PrunedLandmarkOracle::IndexSizeIntegers() const {
+  uint64_t total = 0;
+  for (const auto& label : out_) total += 2 * label.size();
+  for (const auto& label : in_) total += 2 * label.size();
+  return total;
+}
+
+uint64_t PrunedLandmarkOracle::IndexSizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& label : out_) bytes += label.capacity() * sizeof(Entry);
+  for (const auto& label : in_) bytes += label.capacity() * sizeof(Entry);
+  return bytes;
+}
+
+}  // namespace reach

@@ -1,0 +1,58 @@
+// PL: Pruned Landmark Labeling (Akiba, Iwata, Yoshida; SIGMOD 2013), the
+// distance-labeling baseline of the paper's Section 6. Hops carry shortest
+// distances; a pruned BFS per landmark (in rank order) adds (hop, dist)
+// entries only where the existing labels cannot already certify an equal or
+// shorter distance. A reachability query must evaluate the full distance
+// merge (no early exit), which is exactly the extra cost the paper observes
+// for PL in Tables 2/3.
+
+#ifndef REACH_BASELINES_PRUNED_LANDMARK_H_
+#define REACH_BASELINES_PRUNED_LANDMARK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Directed pruned-landmark distance labeling used as a reachability oracle.
+class PrunedLandmarkOracle : public ReachabilityOracle {
+ public:
+  Status Build(const Digraph& dag) override;
+
+  bool Reachable(Vertex u, Vertex v) const override {
+    return u == v || Distance(u, v) != kUnreachable;
+  }
+
+  /// Shortest-path distance (in hops) from u to v, kUnreachable if none.
+  /// Distance(v, v) is 0.
+  uint32_t Distance(Vertex u, Vertex v) const;
+
+  /// k-hop reachability (the k-reach generalization the paper's conclusion
+  /// points at): true iff u reaches v within k steps.
+  bool WithinK(Vertex u, Vertex v, uint32_t k) const {
+    return Distance(u, v) <= k;
+  }
+
+  static constexpr uint32_t kUnreachable = UINT32_MAX;
+
+  std::string name() const override { return "PL"; }
+  uint64_t IndexSizeIntegers() const override;
+  uint64_t IndexSizeBytes() const override;
+
+ private:
+  struct Entry {
+    uint32_t key;   // Landmark order position.
+    uint32_t dist;  // Shortest distance between vertex and landmark.
+  };
+
+  std::vector<std::vector<Entry>> out_;  // Landmarks this vertex reaches.
+  std::vector<std::vector<Entry>> in_;   // Landmarks reaching this vertex.
+};
+
+}  // namespace reach
+
+#endif  // REACH_BASELINES_PRUNED_LANDMARK_H_

@@ -1,0 +1,115 @@
+#include "baselines/twohop.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/transitive_closure.h"
+#include "util/timer.h"
+
+namespace reach {
+
+namespace {
+
+struct Candidate {
+  double ratio;
+  Vertex hop;
+
+  bool operator<(const Candidate& other) const {
+    return ratio < other.ratio;  // Max-heap on ratio.
+  }
+};
+
+}  // namespace
+
+Status TwoHopOracle::Build(const Digraph& dag) {
+  REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "TwoHopOracle"));
+  Timer timer;
+  const size_t n = dag.num_vertices();
+  labeling_.Init(n);
+  if (n == 0) return Status::OK();
+
+  // Materialize TC and reverse TC (the structural cost of 2HOP).
+  const size_t tc_budget =
+      budget_.max_index_integers > 0 ? budget_.max_index_integers * 64 : 0;
+  auto tc = TransitiveClosure::Compute(dag, tc_budget);
+  if (!tc.ok()) return tc.status();
+  auto rtc = TransitiveClosure::Compute(dag.Reversed(), tc_budget);
+  if (!rtc.ok()) return rtc.status();
+
+  // covered[u] marks targets v such that pair (u, v) is already covered.
+  // Reflexive pairs participate like any other Cov(v) member (they force
+  // the self-hop entries), keeping the size metric comparable with DL/HL.
+  std::vector<Bitset> covered(n, Bitset(n));
+  uint64_t uncovered = 0;
+  for (Vertex u = 0; u < n; ++u) uncovered += tc->Row(u).Count();
+
+  // Lazy greedy: keys are optimistic (gains only shrink as pairs get
+  // covered), so a popped candidate whose recomputed ratio still beats the
+  // next key is safely committed.
+  std::priority_queue<Candidate> heap;
+  for (Vertex w = 0; w < n; ++w) {
+    const uint64_t in_size = rtc->Row(w).Count();
+    const uint64_t out_size = tc->Row(w).Count();
+    const double bound = static_cast<double>(in_size) * out_size /
+                         static_cast<double>(in_size + out_size);
+    heap.push(Candidate{bound, w});
+  }
+
+  std::vector<Vertex> in_side;
+  std::vector<Vertex> profitable_in;
+  std::vector<Vertex> profitable_out;
+  Bitset scratch(n);
+  Bitset out_mask(n);
+  size_t pops = 0;
+  while (uncovered > 0 && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    ++pops;
+    if (budget_.max_seconds > 0 &&
+        timer.ElapsedSeconds() > budget_.max_seconds) {
+      return Status::ResourceExhausted("2HOP set-cover over time budget");
+    }
+
+    const Vertex w = top.hop;
+    // Recompute the exact gain of hop w, the in-side endpoints that still
+    // profit, and the union mask of out-side endpoints with uncovered pairs.
+    in_side.clear();
+    rtc->Row(w).AppendSetBits(&in_side);
+    profitable_in.clear();
+    out_mask.Clear();
+    uint64_t gain = 0;
+    for (Vertex u : in_side) {
+      // Uncovered pairs (u, v) with v in TC(w): TC(w) & ~covered[u].
+      scratch = tc->Row(w);
+      scratch.SubtractWith(covered[u]);
+      const uint64_t from_u = scratch.Count();
+      if (from_u > 0) {
+        gain += from_u;
+        profitable_in.push_back(u);
+        out_mask.UnionWith(scratch);
+      }
+    }
+    if (gain == 0) continue;  // Fully covered elsewhere; drop the hop.
+    const uint64_t in_size = rtc->Row(w).Count();
+    const uint64_t out_size = tc->Row(w).Count();
+    const double exact =
+        static_cast<double>(gain) / static_cast<double>(in_size + out_size);
+    if (!heap.empty() && exact < heap.top().ratio) {
+      heap.push(Candidate{exact, w});  // Stale; retry later.
+      continue;
+    }
+
+    // Commit hop w: label only the endpoints with uncovered pairs through w
+    // (zero-gain endpoints are peeled away).
+    profitable_out.clear();
+    out_mask.AppendSetBits(&profitable_out);
+    for (Vertex v : profitable_out) labeling_.InsertIn(v, w);
+    for (Vertex u : profitable_in) {
+      labeling_.InsertOut(u, w);
+      uncovered -= covered[u].UnionCountNew(tc->Row(w));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace reach

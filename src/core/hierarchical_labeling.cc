@@ -1,0 +1,155 @@
+#include "core/hierarchical_labeling.h"
+
+#include <algorithm>
+
+#include "core/backbone.h"
+#include "core/distribution_labeling.h"
+#include "graph/topology.h"
+#include "util/sorted_ops.h"
+#include "util/timer.h"
+
+namespace reach {
+
+namespace {
+
+// Formula 3: Lout(v) = N^{ceil(eps/2)}_out(v | Gh) (plus v itself), and
+// symmetrically for Lin. Complete only if the core diameter is <= eps.
+void LabelCoreByNeighborhood(const Digraph& core,
+                             const std::vector<Vertex>& members,
+                             uint32_t half_eps, HopLabeling* labeling) {
+  BoundedBfs bfs(core.num_vertices());
+  for (Vertex v : members) {
+    std::vector<uint32_t>* out = labeling->MutableOut(v);
+    out->push_back(v);
+    bfs.Run(
+        core, v, half_eps, /*forward=*/true, [](Vertex) { return false; },
+        [out](Vertex w, uint32_t) { out->push_back(w); });
+    SortUnique(out);
+    std::vector<uint32_t>* in = labeling->MutableIn(v);
+    in->push_back(v);
+    bfs.Run(
+        core, v, half_eps, /*forward=*/false, [](Vertex) { return false; },
+        [in](Vertex w, uint32_t) { in->push_back(w); });
+    SortUnique(in);
+  }
+}
+
+// True if every reachable pair of core members lies within `eps` hops.
+// Used to validate the kNeighborhood core labeler before trusting it.
+bool CoreDiameterWithin(const Digraph& core,
+                        const std::vector<Vertex>& members, uint32_t eps) {
+  // BFS from each member without depth bound; any vertex first reached
+  // deeper than eps proves the diameter bound false. The core is small by
+  // construction, so the quadratic sweep is acceptable.
+  std::vector<uint32_t> dist(core.num_vertices());
+  for (Vertex s : members) {
+    std::fill(dist.begin(), dist.end(), UINT32_MAX);
+    std::vector<Vertex> queue{s};
+    dist[s] = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (Vertex w : core.OutNeighbors(v)) {
+        if (dist[w] != UINT32_MAX) continue;
+        dist[w] = dist[v] + 1;
+        if (dist[w] > eps) return false;
+        queue.push_back(w);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status HierarchicalLabelingOracle::Build(const Digraph& dag) {
+  Timer timer;
+  auto hierarchy = Hierarchy::Build(dag, options_.hierarchy);
+  if (!hierarchy.ok()) return hierarchy.status();
+  hierarchy_ = std::make_unique<Hierarchy>(std::move(hierarchy.value()));
+
+  const size_t n = dag.num_vertices();
+  const int eps = hierarchy_->epsilon();
+  const uint32_t half_eps = static_cast<uint32_t>((eps + 1) / 2);
+  labeling_.Init(n);
+
+  // --- Step 1: label the core graph Gh. ---
+  const size_t core = hierarchy_->core_level();
+  const Digraph& core_graph = hierarchy_->LevelGraph(core);
+  const std::vector<Vertex>& core_members = hierarchy_->LevelVertices(core);
+  bool use_neighborhood = options_.core_labeler == CoreLabeler::kNeighborhood;
+  if (use_neighborhood &&
+      !CoreDiameterWithin(core_graph, core_members,
+                          static_cast<uint32_t>(eps))) {
+    use_neighborhood = false;  // Formula 3 would be incomplete; fall back.
+  }
+  if (use_neighborhood) {
+    LabelCoreByNeighborhood(core_graph, core_members, half_eps, &labeling_);
+  } else {
+    // Distribution Labeling restricted to the core, with vertex-id keys so
+    // that core labels compose with the level labels below.
+    DistributionOptions dl_options;
+    std::vector<Vertex> order =
+        ComputeDistributionOrder(core_graph, core_members, dl_options);
+    std::vector<uint32_t> key_of(n);
+    for (Vertex v = 0; v < n; ++v) key_of[v] = v;
+    DistributeLabels(core_graph, order, key_of, &labeling_);
+  }
+
+  // --- Step 2: label levels h-1 .. 0 (Algorithm 1, Lines 4-10). ---
+  BoundedBfs bfs(n);
+  std::vector<uint32_t> gather;
+  for (size_t i = core; i-- > 0;) {
+    if (budget_.max_seconds > 0 &&
+        timer.ElapsedSeconds() > budget_.max_seconds) {
+      return Status::ResourceExhausted("HL construction exceeded time budget");
+    }
+    const Digraph& gi = hierarchy_->LevelGraph(i);
+    for (Vertex v : hierarchy_->LevelVertices(i)) {
+      if (hierarchy_->LevelOf(v) != i) continue;  // Labeled at its own level.
+
+      // Lout(v) = {v} ∪ N^{half_eps}_out(v|Gi) ∪ labels of B^eps_out(v|Gi).
+      gather.clear();
+      gather.push_back(v);
+      bfs.Run(
+          gi, v, half_eps, /*forward=*/true, [](Vertex) { return false; },
+          [&gather](Vertex w, uint32_t) { gather.push_back(w); });
+      bfs.Run(
+          gi, v, static_cast<uint32_t>(eps), /*forward=*/true,
+          [this, i](Vertex w) { return hierarchy_->LevelOf(w) > i; },
+          [this, i, &gather](Vertex w, uint32_t) {
+            if (hierarchy_->LevelOf(w) > i) {
+              const auto& upper = labeling_.Out(w);
+              gather.insert(gather.end(), upper.begin(), upper.end());
+            }
+          });
+      SortUnique(&gather);
+      *labeling_.MutableOut(v) = gather;
+
+      // Lin(v), symmetrically.
+      gather.clear();
+      gather.push_back(v);
+      bfs.Run(
+          gi, v, half_eps, /*forward=*/false, [](Vertex) { return false; },
+          [&gather](Vertex w, uint32_t) { gather.push_back(w); });
+      bfs.Run(
+          gi, v, static_cast<uint32_t>(eps), /*forward=*/false,
+          [this, i](Vertex w) { return hierarchy_->LevelOf(w) > i; },
+          [this, i, &gather](Vertex w, uint32_t) {
+            if (hierarchy_->LevelOf(w) > i) {
+              const auto& upper = labeling_.In(w);
+              gather.insert(gather.end(), upper.begin(), upper.end());
+            }
+          });
+      SortUnique(&gather);
+      *labeling_.MutableIn(v) = gather;
+    }
+  }
+
+  if (budget_.max_index_integers > 0 &&
+      labeling_.TotalEntries() > budget_.max_index_integers) {
+    return Status::ResourceExhausted("HL index exceeded size budget");
+  }
+  return Status::OK();
+}
+
+}  // namespace reach

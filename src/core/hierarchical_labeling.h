@@ -1,0 +1,80 @@
+// Hierarchical Labeling (paper Section 4, Algorithm 1). After the recursive
+// backbone decomposition (Definition 2), the core graph is labeled first and
+// the remaining levels are labeled top-down: a level-i vertex v gets
+//
+//   Lout(v) = N^{ceil(eps/2)}_out(v | Gi)  ∪  U_{u in B^eps_out(v|Gi)} Lout(u)
+//   Lin (v) = N^{ceil(eps/2)}_in (v | Gi)  ∪  U_{u in B^eps_in (v|Gi)} Lin (u)
+//
+// (Formulas 4/5), where the backbone sets B collect the first backbone
+// vertices hit by an eps-bounded BFS. With epsilon = 1 this is the TF-label
+// scheme, which the paper identifies as a special case of HL.
+
+#ifndef REACH_CORE_HIERARCHICAL_LABELING_H_
+#define REACH_CORE_HIERARCHICAL_LABELING_H_
+
+#include <memory>
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/labeling.h"
+#include "core/oracle.h"
+
+namespace reach {
+
+/// How the core graph Gh is labeled (paper Section 4.1, "Labeling Core
+/// Graph"). The paper allows either the eps/2-neighborhood rule (Formula 3,
+/// valid only when the core diameter is <= eps) or any complete 2-hop
+/// labeler; we default to Distribution Labeling, which is complete (Thm. 3)
+/// and has no set-cover dependency.
+enum class CoreLabeler {
+  kDistribution,
+  /// Formula 3. Only complete when the core diameter is <= epsilon; the
+  /// builder verifies this and falls back to kDistribution otherwise.
+  kNeighborhood,
+};
+
+struct HierarchicalOptions {
+  HierarchyOptions hierarchy;
+  CoreLabeler core_labeler = CoreLabeler::kDistribution;
+};
+
+/// The HL reachability oracle. Hop keys are vertex ids.
+class HierarchicalLabelingOracle : public ReachabilityOracle {
+ public:
+  explicit HierarchicalLabelingOracle(HierarchicalOptions options = {})
+      : options_(options) {}
+
+  /// Convenience factory for the TF-label configuration (epsilon = 1).
+  static HierarchicalOptions TfLabelOptions() {
+    HierarchicalOptions options;
+    options.hierarchy.backbone.epsilon = 1;
+    return options;
+  }
+
+  Status Build(const Digraph& dag) override;
+
+  bool Reachable(Vertex u, Vertex v) const override {
+    return u == v || labeling_.Query(u, v);
+  }
+
+  std::string name() const override {
+    return options_.hierarchy.backbone.epsilon == 1 ? "TF" : "HL";
+  }
+  uint64_t IndexSizeIntegers() const override {
+    return labeling_.TotalEntries();
+  }
+  uint64_t IndexSizeBytes() const override { return labeling_.MemoryBytes(); }
+
+  /// The decomposition (valid after Build); exposed for tests and examples.
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const HopLabeling& labeling() const { return labeling_; }
+
+ private:
+  HierarchicalOptions options_;
+  std::unique_ptr<Hierarchy> hierarchy_;
+  HopLabeling labeling_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_HIERARCHICAL_LABELING_H_

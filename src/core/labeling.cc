@@ -1,0 +1,92 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace reach {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4c4142454c3031ULL;  // "LABEL01"
+
+Status WriteLabelSide(const std::vector<std::vector<uint32_t>>& side,
+                      std::ostream& out) {
+  for (const auto& label : side) {
+    const uint32_t size = static_cast<uint32_t>(label.size());
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(label.data()),
+              static_cast<std::streamsize>(label.size() * sizeof(uint32_t)));
+  }
+  if (!out) return Status::IOError("labeling write failed");
+  return Status::OK();
+}
+
+Status ReadLabelSide(std::vector<std::vector<uint32_t>>* side,
+                     std::istream& in) {
+  for (auto& label : *side) {
+    uint32_t size = 0;
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!in) return Status::Corruption("truncated labeling");
+    label.resize(size);
+    in.read(reinterpret_cast<char*>(label.data()),
+            static_cast<std::streamsize>(size * sizeof(uint32_t)));
+    if (!in) return Status::Corruption("truncated labeling data");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void HopLabeling::Canonicalize() {
+  for (auto& label : out_) SortUnique(&label);
+  for (auto& label : in_) SortUnique(&label);
+}
+
+uint64_t HopLabeling::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& label : out_) total += label.size();
+  for (const auto& label : in_) total += label.size();
+  return total;
+}
+
+size_t HopLabeling::MaxLabelSize() const {
+  size_t max_size = 0;
+  for (size_t v = 0; v < out_.size(); ++v) {
+    max_size = std::max(max_size, out_[v].size() + in_[v].size());
+  }
+  return max_size;
+}
+
+size_t HopLabeling::MemoryBytes() const {
+  size_t bytes = (out_.capacity() + in_.capacity()) *
+                 sizeof(std::vector<uint32_t>);
+  for (const auto& label : out_) bytes += label.capacity() * sizeof(uint32_t);
+  for (const auto& label : in_) bytes += label.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+Status HopLabeling::Write(std::ostream& out) const {
+  const uint64_t magic = kMagic;
+  const uint64_t n = out_.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  REACH_RETURN_IF_ERROR(WriteLabelSide(out_, out));
+  REACH_RETURN_IF_ERROR(WriteLabelSide(in_, out));
+  return Status::OK();
+}
+
+StatusOr<HopLabeling> HopLabeling::Read(std::istream& in) {
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) return Status::Corruption("bad labeling magic");
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated labeling header");
+  HopLabeling labeling(n);
+  REACH_RETURN_IF_ERROR(ReadLabelSide(&labeling.out_, in));
+  REACH_RETURN_IF_ERROR(ReadLabelSide(&labeling.in_, in));
+  return labeling;
+}
+
+}  // namespace reach

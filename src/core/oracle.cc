@@ -1,0 +1,21 @@
+#include "core/oracle.h"
+
+#include "graph/topology.h"
+
+namespace reach {
+
+// The interface is header-only; this translation unit anchors the vtable so
+// that RTTI/typeinfo for ReachabilityOracle lands in one object file.
+// (See Google style: prefer a single home for a class's key function.)
+
+namespace internal {
+
+Status ValidateDagInput(const Digraph& g, const char* who) {
+  if (!IsDag(g)) {
+    return Status::InvalidArgument(std::string(who) + " requires a DAG");
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace reach

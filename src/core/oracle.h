@@ -1,0 +1,68 @@
+// Common interface every reachability index in this library implements,
+// plus the construction budget used by the benchmark harness to reproduce
+// the paper's "method did not finish" table entries at laptop scale.
+
+#ifndef REACH_CORE_ORACLE_H_
+#define REACH_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace reach {
+
+/// Limits applied during index construction. Zero means unlimited.
+/// Oracles check the limits at coarse-grained checkpoints and abort with
+/// ResourceExhausted, mirroring the paper's 24-hour / 32 GB budget that
+/// produced the "--" entries in Tables 5-7.
+struct BuildBudget {
+  double max_seconds = 0;
+  uint64_t max_index_integers = 0;
+
+  bool IsUnlimited() const {
+    return max_seconds == 0 && max_index_integers == 0;
+  }
+};
+
+/// A reachability oracle over a DAG: after Build, Reachable(u, v) answers
+/// whether u reaches v (reflexively: Reachable(v, v) is true).
+class ReachabilityOracle {
+ public:
+  virtual ~ReachabilityOracle() = default;
+
+  /// Builds the index for `dag`, which must be acyclic. Returns
+  /// InvalidArgument on cyclic input and ResourceExhausted when the
+  /// budget is exceeded. An oracle must be built exactly once.
+  virtual Status Build(const Digraph& dag) = 0;
+
+  /// True iff u reaches v. Only valid after a successful Build.
+  virtual bool Reachable(Vertex u, Vertex v) const = 0;
+
+  /// Short method name as used in the paper's tables ("DL", "HL", "GL", ...).
+  virtual std::string name() const = 0;
+
+  /// Index size in number of stored integers — the metric of Figures 3/4.
+  virtual uint64_t IndexSizeIntegers() const = 0;
+
+  /// Approximate index heap footprint in bytes.
+  virtual uint64_t IndexSizeBytes() const = 0;
+
+  void set_budget(const BuildBudget& budget) { budget_ = budget; }
+  const BuildBudget& budget() const { return budget_; }
+
+ protected:
+  BuildBudget budget_;
+};
+
+namespace internal {
+
+/// Shared Build() precondition check: InvalidArgument unless `g` is acyclic.
+Status ValidateDagInput(const Digraph& g, const char* who);
+
+}  // namespace internal
+}  // namespace reach
+
+#endif  // REACH_CORE_ORACLE_H_

@@ -1,0 +1,15 @@
+#include "core/reachability.h"
+
+namespace reach {
+
+StatusOr<ReachabilityIndex> ReachabilityIndex::Build(
+    const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  Condensation condensation = CondenseToDag(g);
+  REACH_RETURN_IF_ERROR(oracle->Build(condensation.dag));
+  return ReachabilityIndex(std::move(condensation), std::move(oracle));
+}
+
+}  // namespace reach

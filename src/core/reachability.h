@@ -1,0 +1,57 @@
+// End-user façade: answers reachability on an arbitrary directed graph
+// (cycles allowed) by condensing strongly connected components into a DAG
+// (paper Section 2) and delegating to any ReachabilityOracle built on the
+// condensation. Queries are posed in original vertex ids.
+
+#ifndef REACH_CORE_REACHABILITY_H_
+#define REACH_CORE_REACHABILITY_H_
+
+#include <memory>
+
+#include "core/oracle.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "util/status.h"
+
+namespace reach {
+
+/// Reachability index over a general digraph.
+///
+/// Usage:
+///   auto index = ReachabilityIndex::Build(
+///       graph, std::make_unique<DistributionLabelingOracle>());
+///   if (index.ok() && index->Reachable(u, v)) { ... }
+class ReachabilityIndex {
+ public:
+  /// Condenses `g`, builds `oracle` on the condensation, and returns the
+  /// ready-to-query index.
+  static StatusOr<ReachabilityIndex> Build(
+      const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle);
+
+  /// True iff a directed path from u to v exists in the original graph
+  /// (trivially true when u == v or both lie in one SCC).
+  bool Reachable(Vertex u, Vertex v) const {
+    const Vertex cu = condensation_.component[u];
+    const Vertex cv = condensation_.component[v];
+    return cu == cv || oracle_->Reachable(cu, cv);
+  }
+
+  /// The condensation DAG the oracle was built on.
+  const Digraph& dag() const { return condensation_.dag; }
+  /// SCC id of an original vertex.
+  Vertex ComponentOf(Vertex v) const { return condensation_.component[v]; }
+  size_t num_components() const { return condensation_.num_components; }
+  const ReachabilityOracle& oracle() const { return *oracle_; }
+
+ private:
+  ReachabilityIndex(Condensation condensation,
+                    std::unique_ptr<ReachabilityOracle> oracle)
+      : condensation_(std::move(condensation)), oracle_(std::move(oracle)) {}
+
+  Condensation condensation_;
+  std::unique_ptr<ReachabilityOracle> oracle_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_REACHABILITY_H_

@@ -1,0 +1,63 @@
+#include "datasets/paper_examples.h"
+
+namespace reach {
+
+Digraph PaperFigure1Graph() {
+  // Reconstruction of Figure 1(a): 40 vertices (1-based ids as printed),
+  // with hub vertices 5, 7, 9, 14, 17, 25, 29, 35, 40 forming the upper
+  // levels. Vertex 0 is an isolated placeholder.
+  GraphBuilder b(41);
+  // Chains feeding hub 7 and hub 5.
+  b.AddEdge(1, 5);
+  b.AddEdge(2, 5);
+  b.AddEdge(3, 7);
+  b.AddEdge(4, 7);
+  b.AddEdge(5, 7);
+  b.AddEdge(6, 7);
+  b.AddEdge(5, 9);
+  b.AddEdge(8, 9);
+  // Hub 7 fans out to mid-level vertices.
+  b.AddEdge(7, 10);
+  b.AddEdge(7, 11);
+  b.AddEdge(7, 14);
+  b.AddEdge(10, 12);
+  b.AddEdge(11, 13);
+  b.AddEdge(9, 13);
+  b.AddEdge(13, 25);
+  b.AddEdge(12, 25);
+  // Vertex 14: incoming from 7 (its incoming backbone set), outgoing to 29.
+  b.AddEdge(14, 29);
+  b.AddEdge(15, 17);
+  b.AddEdge(16, 17);
+  b.AddEdge(17, 25);
+  b.AddEdge(5, 17);
+  b.AddEdge(18, 19);
+  b.AddEdge(19, 25);
+  b.AddEdge(20, 21);
+  b.AddEdge(21, 25);
+  b.AddEdge(22, 25);
+  b.AddEdge(23, 25);
+  b.AddEdge(24, 25);
+  // Hub 25 feeds the sink-side structure via 29 and 35.
+  b.AddEdge(25, 26);
+  b.AddEdge(25, 29);
+  b.AddEdge(26, 27);
+  b.AddEdge(27, 35);
+  b.AddEdge(28, 29);
+  b.AddEdge(29, 35);
+  b.AddEdge(29, 40);
+  b.AddEdge(30, 35);
+  b.AddEdge(31, 35);
+  b.AddEdge(32, 35);
+  b.AddEdge(33, 35);
+  b.AddEdge(34, 35);
+  b.AddEdge(35, 36);
+  b.AddEdge(35, 40);
+  b.AddEdge(36, 37);
+  b.AddEdge(37, 40);
+  b.AddEdge(38, 40);
+  b.AddEdge(39, 40);
+  return b.Build();
+}
+
+}  // namespace reach

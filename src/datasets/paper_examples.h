@@ -1,0 +1,21 @@
+// Reconstruction of the paper's running-example graphs (Figures 1 and 2),
+// used by the worked-example executable and by tests.
+
+#ifndef REACH_DATASETS_PAPER_EXAMPLES_H_
+#define REACH_DATASETS_PAPER_EXAMPLES_H_
+
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// The Figure 1(a) running-example DAG, vertex ids as printed in the figure
+/// (0 is an unused placeholder; vertices are 1..40). The exact figure is not
+/// machine-readable; this reconstruction keeps the properties the worked
+/// example exercises: hub vertices {5, 7, 9, 14, 17, 25, 29, 35, 40} form
+/// the upper levels, vertex 14 has incoming backbone {7} and feeds backbone
+/// vertex 40 through 29, matching Example 4.3's discussion.
+Digraph PaperFigure1Graph();
+
+}  // namespace reach
+
+#endif  // REACH_DATASETS_PAPER_EXAMPLES_H_

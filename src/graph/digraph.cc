@@ -1,0 +1,89 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reach {
+
+Digraph Digraph::FromEdges(size_t num_vertices, std::vector<Edge> edges,
+                           bool keep_self_loops) {
+  if (!keep_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.from == e.to; }),
+                edges.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Digraph g;
+  g.num_vertices_ = num_vertices;
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.heads_.resize(edges.size());
+  g.tails_.resize(edges.size());
+
+  for (const Edge& e : edges) {
+    assert(e.from < num_vertices && e.to < num_vertices);
+    ++g.out_offsets_[e.from + 1];
+    ++g.in_offsets_[e.to + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  // Edges are sorted by (from, to), so forward CSR fills in order.
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  size_t out_pos = 0;
+  for (const Edge& e : edges) {
+    g.heads_[out_pos++] = e.to;
+    g.tails_[in_cursor[e.to]++] = e.from;
+  }
+  // Reverse lists were filled in (from, to) order, hence already sorted
+  // ascending by tail vertex id within each bucket.
+  return g;
+}
+
+bool Digraph::HasEdge(Vertex u, Vertex v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Digraph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    for (Vertex w : OutNeighbors(v)) edges.push_back(Edge{v, w});
+  }
+  return edges;
+}
+
+Digraph Digraph::Reversed() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    for (Vertex w : OutNeighbors(v)) edges.push_back(Edge{w, v});
+  }
+  return FromEdges(num_vertices_, std::move(edges));
+}
+
+Digraph Digraph::InducedSubgraphSameIds(
+    const std::vector<Vertex>& members) const {
+  std::vector<bool> in_set(num_vertices_, false);
+  for (Vertex v : members) in_set[v] = true;
+  std::vector<Edge> edges;
+  for (Vertex v : members) {
+    for (Vertex w : OutNeighbors(v)) {
+      if (in_set[w]) edges.push_back(Edge{v, w});
+    }
+  }
+  return FromEdges(num_vertices_, std::move(edges));
+}
+
+size_t Digraph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(uint64_t) +
+         in_offsets_.size() * sizeof(uint64_t) +
+         heads_.size() * sizeof(Vertex) + tails_.size() * sizeof(Vertex);
+}
+
+}  // namespace reach

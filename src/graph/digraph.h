@@ -1,0 +1,121 @@
+// Immutable directed graph in CSR (compressed sparse row) form, with both
+// forward and reverse adjacency. All indexing structures in this library are
+// built over this representation.
+
+#ifndef REACH_GRAPH_DIGRAPH_H_
+#define REACH_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace reach {
+
+/// Vertex identifier. Vertices are dense ids in [0, num_vertices).
+using Vertex = uint32_t;
+
+/// Directed edge (from, to).
+struct Edge {
+  Vertex from;
+  Vertex to;
+
+  bool operator==(const Edge& other) const {
+    return from == other.from && to == other.to;
+  }
+  bool operator<(const Edge& other) const {
+    return from != other.from ? from < other.from : to < other.to;
+  }
+};
+
+/// Immutable CSR digraph. Construct through GraphBuilder or FromEdges.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds a digraph with `num_vertices` vertices from an edge list.
+  /// Duplicate edges are removed; self-loops are kept only if `keep_self_loops`.
+  static Digraph FromEdges(size_t num_vertices, std::vector<Edge> edges,
+                           bool keep_self_loops = false);
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return heads_.size(); }
+
+  /// Out-neighbors of `v`, sorted ascending.
+  std::span<const Vertex> OutNeighbors(Vertex v) const {
+    return {heads_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// In-neighbors of `v`, sorted ascending.
+  std::span<const Vertex> InNeighbors(Vertex v) const {
+    return {tails_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(Vertex v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(Vertex v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+
+  /// True if the edge (u, v) exists. O(log OutDegree(u)).
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  /// All edges, grouped by source ascending.
+  std::vector<Edge> CollectEdges() const;
+
+  /// Graph with every edge reversed.
+  Digraph Reversed() const;
+
+  /// Subgraph induced on the given sorted vertex subset, with the *same*
+  /// vertex id space (non-members have no edges). Used by the hierarchical
+  /// decomposition, which keeps global ids across levels.
+  Digraph InducedSubgraphSameIds(const std::vector<Vertex>& members) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  size_t num_vertices_ = 0;
+  // CSR forward: heads_[out_offsets_[v] .. out_offsets_[v+1]) = out-neighbors.
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<Vertex> heads_;
+  // CSR reverse: tails_[in_offsets_[v] .. in_offsets_[v+1]) = in-neighbors.
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<Vertex> tails_;
+};
+
+/// Incremental edge-list accumulator for building a Digraph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_vertices = 0) : num_vertices_(num_vertices) {}
+
+  /// Adds an edge, growing the vertex space if needed.
+  void AddEdge(Vertex from, Vertex to) {
+    num_vertices_ = std::max<size_t>(num_vertices_,
+                                     std::max<size_t>(from, to) + 1);
+    edges_.push_back(Edge{from, to});
+  }
+
+  /// Ensures the graph has at least `n` vertices.
+  void EnsureVertices(size_t n) {
+    num_vertices_ = std::max(num_vertices_, n);
+  }
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable CSR digraph; the builder is left empty.
+  Digraph Build(bool keep_self_loops = false) {
+    return Digraph::FromEdges(num_vertices_, std::move(edges_),
+                              keep_self_loops);
+  }
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_DIGRAPH_H_

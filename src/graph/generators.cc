@@ -1,0 +1,316 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace reach {
+
+std::string GraphFamilyName(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kTreeLike:
+      return "tree_like";
+    case GraphFamily::kSparseRandom:
+      return "sparse_random";
+    case GraphFamily::kCitation:
+      return "citation";
+    case GraphFamily::kLayered:
+      return "layered";
+    case GraphFamily::kStarForest:
+      return "star_forest";
+    case GraphFamily::kHub:
+      return "hub";
+    case GraphFamily::kGrid:
+      return "grid";
+    case GraphFamily::kChain:
+      return "chain";
+    case GraphFamily::kDenseLayers:
+      return "dense_layers";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Random permutation of [0, n) used as a hidden topological rank, so that
+// "forward" edges (rank[u] < rank[v]) never form a cycle.
+std::vector<Vertex> RandomRanks(size_t n, Rng* rng) {
+  std::vector<Vertex> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<Vertex>(i);
+  Shuffle(&perm, rng);
+  return perm;
+}
+
+}  // namespace
+
+Digraph RandomDag(size_t num_vertices, size_t num_edges, uint64_t seed) {
+  assert(num_vertices >= 2 || num_edges == 0);
+  Rng rng(seed);
+  std::vector<Vertex> rank_of = RandomRanks(num_vertices, &rng);
+  GraphBuilder builder(num_vertices);
+  // Over-sample: FromEdges deduplicates. Keep sampling until enough distinct
+  // pairs exist; cap attempts to stay linear on dense requests.
+  const size_t attempts_cap = num_edges * 4 + 64;
+  size_t added = 0;
+  for (size_t attempt = 0; attempt < attempts_cap && added < num_edges;
+       ++attempt) {
+    Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (rank_of[u] > rank_of[v]) std::swap(u, v);
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder.Build();
+}
+
+Digraph TreeLikeDag(size_t num_vertices, size_t extra_edges, uint64_t seed,
+                    double root_fraction) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Vertex 0 is always a root; later vertices are roots with the given
+  // probability, otherwise they hang off a uniformly random earlier vertex.
+  for (Vertex v = 1; v < num_vertices; ++v) {
+    if (rng.Bernoulli(root_fraction)) continue;
+    const Vertex parent = static_cast<Vertex>(rng.Uniform(v));
+    builder.AddEdge(parent, v);
+  }
+  for (size_t i = 0; i < extra_edges && num_vertices >= 2; ++i) {
+    Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);  // Creation order is a topological order.
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Digraph CitationDag(size_t num_vertices, double avg_out_degree,
+                    uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Preferential attachment via the repeated-endpoint trick: sampling a
+  // uniform element of `targets` (every edge endpoint appears once) picks a
+  // vertex with probability proportional to its in-degree.
+  std::vector<Vertex> targets;
+  targets.reserve(static_cast<size_t>(num_vertices * avg_out_degree) + 16);
+  for (Vertex v = 1; v < num_vertices; ++v) {
+    // Poisson-ish citation count around the mean, at least one.
+    size_t cites = 1;
+    double expected = avg_out_degree - 1.0;
+    while (expected > 0 && rng.Bernoulli(std::min(expected, 1.0))) {
+      ++cites;
+      expected -= 1.0;
+    }
+    cites = std::min<size_t>(cites, v);
+    for (size_t c = 0; c < cites; ++c) {
+      Vertex cited;
+      if (!targets.empty() && rng.Bernoulli(0.7)) {
+        cited = targets[rng.Uniform(targets.size())];
+        if (cited >= v) cited = static_cast<Vertex>(rng.Uniform(v));
+      } else {
+        cited = static_cast<Vertex>(rng.Uniform(v));
+      }
+      builder.AddEdge(v, cited);  // New cites old: edge new -> old.
+      targets.push_back(cited);
+    }
+  }
+  return builder.Build();
+}
+
+Digraph LayeredDag(size_t num_vertices, size_t num_layers,
+                   double avg_out_degree, uint64_t seed) {
+  assert(num_layers >= 2);
+  Rng rng(seed);
+  // Layer assignment: contiguous slices of roughly equal width.
+  const size_t width = (num_vertices + num_layers - 1) / num_layers;
+  auto layer_begin = [&](size_t layer) { return layer * width; };
+  auto layer_end = [&](size_t layer) {
+    return std::min(num_vertices, (layer + 1) * width);
+  };
+  GraphBuilder builder(num_vertices);
+  for (size_t layer = 0; layer + 1 < num_layers; ++layer) {
+    for (size_t v = layer_begin(layer); v < layer_end(layer); ++v) {
+      size_t fanout = 1 + rng.Uniform(static_cast<uint64_t>(
+                              std::max(1.0, 2.0 * avg_out_degree - 1.0)));
+      for (size_t f = 0; f < fanout; ++f) {
+        // Mostly next layer; occasionally skip one layer ahead.
+        size_t target_layer = layer + 1;
+        if (layer + 2 < num_layers && rng.Bernoulli(0.15)) target_layer = layer + 2;
+        const size_t lo = layer_begin(target_layer);
+        const size_t hi = layer_end(target_layer);
+        if (lo >= hi) continue;
+        const Vertex w = static_cast<Vertex>(lo + rng.Uniform(hi - lo));
+        builder.AddEdge(static_cast<Vertex>(v), w);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Digraph StarForestDag(size_t num_vertices, uint64_t seed,
+                      double root_fraction) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Parent sampled by out-degree preferential attachment => heavy hubs.
+  std::vector<Vertex> parent_pool;
+  parent_pool.reserve(num_vertices);
+  parent_pool.push_back(0);
+  for (Vertex v = 1; v < num_vertices; ++v) {
+    if (rng.Bernoulli(root_fraction)) {
+      parent_pool.push_back(v);
+      continue;
+    }
+    const Vertex parent = parent_pool[rng.Uniform(parent_pool.size())];
+    builder.AddEdge(parent, v);
+    parent_pool.push_back(parent);  // Reinforce the chosen hub.
+    parent_pool.push_back(v);
+  }
+  return builder.Build();
+}
+
+Digraph HubDag(size_t num_vertices, size_t num_hubs, size_t num_edges,
+               uint64_t seed) {
+  assert(num_hubs < num_vertices);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Hubs are the lowest ids, spread across the topological range by wiring:
+  // each hub h gets edges from a random earlier slice and to a later slice.
+  std::vector<Vertex> rank_of = RandomRanks(num_vertices, &rng);
+  size_t added = 0;
+  const size_t per_hub = num_edges / (2 * std::max<size_t>(num_hubs, 1));
+  for (size_t h = 0; h < num_hubs; ++h) {
+    const Vertex hub = static_cast<Vertex>(h);
+    for (size_t i = 0; i < per_hub && added < num_edges; ++i) {
+      Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+      if (v == hub) continue;
+      if (rank_of[hub] < rank_of[v]) {
+        builder.AddEdge(hub, v);
+      } else {
+        builder.AddEdge(v, hub);
+      }
+      ++added;
+    }
+  }
+  while (added < num_edges) {
+    Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    if (u == v) {
+      ++added;  // Count the attempt to guarantee termination.
+      continue;
+    }
+    if (rank_of[u] > rank_of[v]) std::swap(u, v);
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder.Build();
+}
+
+Digraph GridDag(size_t rows, size_t cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.Build();
+}
+
+Digraph ChainDag(size_t num_vertices) {
+  GraphBuilder builder(num_vertices);
+  for (Vertex v = 0; v + 1 < num_vertices; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Digraph DenseLayersDag(size_t num_layers, size_t layer_width, double p,
+                       uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(num_layers * layer_width);
+  for (size_t layer = 0; layer + 1 < num_layers; ++layer) {
+    for (size_t i = 0; i < layer_width; ++i) {
+      for (size_t j = 0; j < layer_width; ++j) {
+        if (rng.Bernoulli(p)) {
+          builder.AddEdge(static_cast<Vertex>(layer * layer_width + i),
+                          static_cast<Vertex>((layer + 1) * layer_width + j));
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Digraph GenerateFamily(GraphFamily family, size_t num_vertices,
+                       size_t num_edges, uint64_t seed) {
+  switch (family) {
+    case GraphFamily::kTreeLike: {
+      const size_t tree_edges = num_vertices - std::min<size_t>(
+          num_vertices, 1 + num_vertices / 50);
+      const size_t extra =
+          num_edges > tree_edges ? num_edges - tree_edges : 0;
+      return TreeLikeDag(num_vertices, extra, seed);
+    }
+    case GraphFamily::kSparseRandom:
+      return RandomDag(num_vertices, num_edges, seed);
+    case GraphFamily::kCitation:
+      return CitationDag(num_vertices,
+                         static_cast<double>(num_edges) / num_vertices, seed);
+    case GraphFamily::kLayered: {
+      const size_t layers =
+          std::max<size_t>(4, static_cast<size_t>(std::sqrt(
+                                  static_cast<double>(num_vertices) / 4.0)));
+      return LayeredDag(num_vertices, layers,
+                        static_cast<double>(num_edges) / num_vertices, seed);
+    }
+    case GraphFamily::kStarForest:
+      return StarForestDag(num_vertices, seed);
+    case GraphFamily::kHub:
+      return HubDag(num_vertices, std::max<size_t>(2, num_vertices / 100),
+                    num_edges, seed);
+    case GraphFamily::kGrid: {
+      const size_t side = std::max<size_t>(
+          2, static_cast<size_t>(std::sqrt(static_cast<double>(num_vertices))));
+      return GridDag(side, side);
+    }
+    case GraphFamily::kChain:
+      return ChainDag(num_vertices);
+    case GraphFamily::kDenseLayers: {
+      const size_t width = std::max<size_t>(
+          4, static_cast<size_t>(std::sqrt(static_cast<double>(num_vertices))));
+      const size_t layers = std::max<size_t>(2, num_vertices / width);
+      const double p = static_cast<double>(num_edges) /
+                       (static_cast<double>(layers - 1) * width * width);
+      return DenseLayersDag(layers, width, std::min(1.0, p), seed);
+    }
+  }
+  return Digraph();
+}
+
+Digraph RandomDigraphWithCycles(size_t num_vertices, size_t num_edges,
+                                size_t back_edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vertex> rank_of = RandomRanks(num_vertices, &rng);
+  GraphBuilder builder(num_vertices);
+  for (size_t i = 0; i < num_edges; ++i) {
+    Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (rank_of[u] > rank_of[v]) std::swap(u, v);
+    builder.AddEdge(u, v);
+  }
+  for (size_t i = 0; i < back_edges; ++i) {
+    Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (rank_of[u] < rank_of[v]) std::swap(u, v);  // Backward on purpose.
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace reach

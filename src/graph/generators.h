@@ -1,0 +1,86 @@
+// Synthetic DAG generators. The paper evaluates on public benchmark graphs
+// (Table 1); this environment is offline, so each dataset is replaced by a
+// deterministic generator from the matching structural family (see DESIGN.md
+// Section 3.1). All generators return DAGs unless stated otherwise and are
+// fully determined by their seed.
+
+#ifndef REACH_GRAPH_GENERATORS_H_
+#define REACH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Structural families mirroring the paper's dataset classes.
+enum class GraphFamily {
+  kTreeLike,     // Metabolic-style: random forest + few cross edges, m ~ n.
+  kSparseRandom, // Uniform random DAG with a fixed edge budget (p2p, email).
+  kCitation,     // Preferential attachment, new cites old (arxiv, citeseer).
+  kLayered,      // XML/workflow-style layered DAG (nasa, xmark).
+  kStarForest,   // Shallow, hub-dominated forest, m ~ n (go_uniprot, uniprot).
+  kHub,          // Few high-fanout hubs (amaze, kegg).
+  kGrid,         // 2D grid DAG (deep, structured; stress for online search).
+  kChain,        // Single path (worst case depth).
+  kDenseLayers,  // Small dense layered DAG (large TC; stress for compression).
+};
+
+/// Human-readable family name ("tree_like", "citation", ...).
+std::string GraphFamilyName(GraphFamily family);
+
+/// Uniform random DAG: vertices get a random topological rank, `num_edges`
+/// distinct forward pairs are sampled.
+Digraph RandomDag(size_t num_vertices, size_t num_edges, uint64_t seed);
+
+/// Random forest (each non-root picks a parent among earlier vertices) plus
+/// `extra_edges` additional forward cross edges. m = n - #roots + extra.
+Digraph TreeLikeDag(size_t num_vertices, size_t extra_edges, uint64_t seed,
+                    double root_fraction = 0.02);
+
+/// Citation-style DAG: vertex i (the "new paper") draws ~`avg_out_degree`
+/// citation targets among 0..i-1 by preferential attachment (probability
+/// proportional to in-degree + 1), i.e. edges point new -> old.
+Digraph CitationDag(size_t num_vertices, double avg_out_degree, uint64_t seed);
+
+/// Layered DAG: `num_layers` layers; each vertex draws ~`avg_out_degree`
+/// targets in the next 1-2 layers.
+Digraph LayeredDag(size_t num_vertices, size_t num_layers,
+                   double avg_out_degree, uint64_t seed);
+
+/// Shallow star forest: parents chosen by out-degree preferential attachment,
+/// yielding a few huge hubs and depth O(log n). m = n - #roots.
+Digraph StarForestDag(size_t num_vertices, uint64_t seed,
+                      double root_fraction = 0.001);
+
+/// Hub DAG: `num_hubs` hubs each wired to a random slice of ordinary
+/// vertices (both directions, forward only), plus a sparse random backbone.
+Digraph HubDag(size_t num_vertices, size_t num_hubs, size_t num_edges,
+               uint64_t seed);
+
+/// Grid DAG with edges rightwards and downwards.
+Digraph GridDag(size_t rows, size_t cols);
+
+/// Path 0 -> 1 -> ... -> n-1.
+Digraph ChainDag(size_t num_vertices);
+
+/// Dense layered DAG: consecutive layers are joined by a dense random
+/// bipartite graph with edge probability `p`. Produces a large transitive
+/// closure relative to its size.
+Digraph DenseLayersDag(size_t num_layers, size_t layer_width, double p,
+                       uint64_t seed);
+
+/// Family dispatcher used by the dataset registry: builds a graph of the
+/// given family with roughly `num_vertices` vertices and `num_edges` edges.
+Digraph GenerateFamily(GraphFamily family, size_t num_vertices,
+                       size_t num_edges, uint64_t seed);
+
+/// Random *cyclic* digraph (for SCC/condensation tests and the facade):
+/// a random DAG plus `back_edges` random backward edges.
+Digraph RandomDigraphWithCycles(size_t num_vertices, size_t num_edges,
+                                size_t back_edges, uint64_t seed);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_GENERATORS_H_

@@ -1,0 +1,201 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace reach {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x52454143483031ULL;  // "REACH01"
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+StatusOr<Digraph> ReadEdgeList(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t u;
+    uint64_t v;
+    if (!(ls >> u >> v)) {
+      return Status::Corruption("edge list line " + std::to_string(line_no) +
+                                ": expected 'u v', got '" + line + "'");
+    }
+    if (u > UINT32_MAX || v > UINT32_MAX) {
+      return Status::InvalidArgument("vertex id exceeds uint32 at line " +
+                                     std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return builder.Build();
+}
+
+StatusOr<Digraph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+Status WriteEdgeList(const Digraph& g, std::ostream& out) {
+  out << "# libreach edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.OutNeighbors(v)) out << v << ' ' << w << '\n';
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<Digraph> ReadGra(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) return Status::Corruption("empty .gra file");
+  // Some producers emit a name line before the count; accept both.
+  size_t n = 0;
+  {
+    std::istringstream hs(header);
+    if (!(hs >> n)) {
+      std::string count_line;
+      if (!std::getline(in, count_line)) {
+        return Status::Corruption(".gra file missing vertex count");
+      }
+      std::istringstream cs(count_line);
+      if (!(cs >> n)) {
+        return Status::Corruption(".gra vertex count is not a number: '" +
+                                  count_line + "'");
+      }
+    }
+  }
+  GraphBuilder builder(n);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption(".gra adjacency line " +
+                                std::to_string(line_no) + " lacks ':'");
+    }
+    uint64_t v = 0;
+    try {
+      v = std::stoull(line.substr(0, colon));
+    } catch (...) {
+      return Status::Corruption(".gra bad vertex id at line " +
+                                std::to_string(line_no));
+    }
+    if (v >= n) {
+      return Status::Corruption(".gra vertex id out of range at line " +
+                                std::to_string(line_no));
+    }
+    std::istringstream ls(line.substr(colon + 1));
+    std::string token;
+    while (ls >> token) {
+      if (token == "#") break;
+      uint64_t w = 0;
+      try {
+        w = std::stoull(token);
+      } catch (...) {
+        return Status::Corruption(".gra bad neighbor '" + token +
+                                  "' at line " + std::to_string(line_no));
+      }
+      if (w >= n) {
+        return Status::Corruption(".gra neighbor out of range at line " +
+                                  std::to_string(line_no));
+      }
+      builder.AddEdge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    }
+  }
+  return builder.Build();
+}
+
+Status WriteGra(const Digraph& g, std::ostream& out) {
+  out << "graph_for_greach\n" << g.num_vertices() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out << v << ": ";
+    for (Vertex w : g.OutNeighbors(v)) out << w << ' ';
+    out << "#\n";
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteBinary(const Digraph& g, std::ostream& out) {
+  const uint64_t magic = kBinaryMagic;
+  const uint64_t n = g.num_vertices();
+  const uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (Vertex v = 0; v < n; ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+    out.write(reinterpret_cast<const char*>(&deg), sizeof(deg));
+    out.write(reinterpret_cast<const char*>(nbrs.data()),
+              static_cast<std::streamsize>(nbrs.size() * sizeof(Vertex)));
+  }
+  if (!out) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+StatusOr<Digraph> ReadBinary(std::istream& in) {
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kBinaryMagic) {
+    return Status::Corruption("bad binary graph magic");
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in) return Status::Corruption("truncated binary graph header");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint32_t deg = 0;
+    in.read(reinterpret_cast<char*>(&deg), sizeof(deg));
+    if (!in) return Status::Corruption("truncated binary graph row");
+    std::vector<Vertex> nbrs(deg);
+    in.read(reinterpret_cast<char*>(nbrs.data()),
+            static_cast<std::streamsize>(deg * sizeof(Vertex)));
+    if (!in) return Status::Corruption("truncated binary graph row data");
+    for (Vertex w : nbrs) {
+      if (w >= n) return Status::Corruption("binary graph neighbor range");
+      edges.push_back(Edge{static_cast<Vertex>(v), w});
+    }
+  }
+  if (edges.size() != m) {
+    return Status::Corruption("binary graph edge count mismatch");
+  }
+  return Digraph::FromEdges(n, std::move(edges));
+}
+
+StatusOr<Digraph> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  if (HasSuffix(path, ".gra")) return ReadGra(in);
+  if (HasSuffix(path, ".bin")) return ReadBinary(in);
+  return ReadEdgeList(in);
+}
+
+Status WriteGraphFile(const Digraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (HasSuffix(path, ".gra")) return WriteGra(g, out);
+  if (HasSuffix(path, ".bin")) return WriteBinary(g, out);
+  return WriteEdgeList(g, out);
+}
+
+}  // namespace reach

@@ -1,0 +1,47 @@
+// Graph readers/writers. Two text formats used across the reachability
+// literature are supported plus a fast binary snapshot:
+//
+//  * Edge list: optional "# comment" lines, then "u v" per line (SNAP style).
+//  * .gra adjacency (used by GRAIL/Path-Tree distributions):
+//        graph_for_greach
+//        <n>
+//        0: 3 5 7 #
+//        1: #
+//        ...
+//  * Binary snapshot: magic + counts + CSR arrays, for fast reload.
+
+#ifndef REACH_GRAPH_GRAPH_IO_H_
+#define REACH_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace reach {
+
+/// Parses a SNAP-style edge list from a stream.
+StatusOr<Digraph> ReadEdgeList(std::istream& in);
+/// Parses a SNAP-style edge list from a file.
+StatusOr<Digraph> ReadEdgeListFile(const std::string& path);
+/// Writes a SNAP-style edge list ("u v" per line, with a header comment).
+Status WriteEdgeList(const Digraph& g, std::ostream& out);
+
+/// Parses the ".gra" adjacency format from a stream.
+StatusOr<Digraph> ReadGra(std::istream& in);
+/// Writes the ".gra" adjacency format.
+Status WriteGra(const Digraph& g, std::ostream& out);
+
+/// Binary snapshot (not portable across endianness; fast local reload).
+Status WriteBinary(const Digraph& g, std::ostream& out);
+StatusOr<Digraph> ReadBinary(std::istream& in);
+
+/// File-path conveniences that dispatch on extension:
+/// ".gra" -> gra, ".bin" -> binary, anything else -> edge list.
+StatusOr<Digraph> ReadGraphFile(const std::string& path);
+Status WriteGraphFile(const Digraph& g, const std::string& path);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_GRAPH_IO_H_

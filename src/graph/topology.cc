@@ -1,0 +1,84 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace reach {
+
+std::optional<std::vector<Vertex>> TopologicalOrder(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> in_degree(n);
+  std::vector<Vertex> order;
+  order.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    in_degree[v] = static_cast<uint32_t>(g.InDegree(v));
+    if (in_degree[v] == 0) order.push_back(v);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    const Vertex v = order[head];
+    for (Vertex w : g.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) order.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // Cycle.
+  return order;
+}
+
+std::vector<uint32_t> OrderPositions(const std::vector<Vertex>& order) {
+  std::vector<uint32_t> position(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  return position;
+}
+
+bool IsDag(const Digraph& g) { return TopologicalOrder(g).has_value(); }
+
+std::vector<uint32_t> LongestPathLevels(const Digraph& g) {
+  auto order = TopologicalOrder(g);
+  assert(order.has_value() && "LongestPathLevels requires a DAG");
+  std::vector<uint32_t> level(g.num_vertices(), 0);
+  for (Vertex v : *order) {
+    for (Vertex w : g.OutNeighbors(v)) {
+      level[w] = std::max(level[w], level[v] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<uint32_t> BfsDistances(const Digraph& g, Vertex source) {
+  std::vector<uint32_t> dist(g.num_vertices(), UINT32_MAX);
+  std::deque<Vertex> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (Vertex w : g.OutNeighbors(v)) {
+      if (dist[w] == UINT32_MAX) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool BfsReachable(const Digraph& g, Vertex source, Vertex target) {
+  if (source == target) return true;
+  std::vector<bool> visited(g.num_vertices(), false);
+  std::vector<Vertex> queue{source};
+  visited[source] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    for (Vertex w : g.OutNeighbors(v)) {
+      if (w == target) return true;
+      if (!visited[w]) {
+        visited[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace reach

@@ -1,0 +1,35 @@
+// Topological ordering and related DAG utilities.
+
+#ifndef REACH_GRAPH_TOPOLOGY_H_
+#define REACH_GRAPH_TOPOLOGY_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Topological order of a DAG via Kahn's algorithm. Returns std::nullopt if
+/// the graph has a cycle. order[i] = i-th vertex in topological order.
+std::optional<std::vector<Vertex>> TopologicalOrder(const Digraph& g);
+
+/// Inverse permutation: position[v] = index of v in `order`.
+std::vector<uint32_t> OrderPositions(const std::vector<Vertex>& order);
+
+/// True if the graph is acyclic.
+bool IsDag(const Digraph& g);
+
+/// Longest-path level of each vertex: level[v] = 0 for sources, otherwise
+/// 1 + max level over in-neighbors. Requires a DAG.
+std::vector<uint32_t> LongestPathLevels(const Digraph& g);
+
+/// BFS distances (unit weights) from `source`, UINT32_MAX if unreachable.
+std::vector<uint32_t> BfsDistances(const Digraph& g, Vertex source);
+
+/// True if `target` is reachable from `source` by forward BFS.
+bool BfsReachable(const Digraph& g, Vertex source, Vertex target);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_TOPOLOGY_H_

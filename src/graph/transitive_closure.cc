@@ -1,0 +1,44 @@
+#include "graph/transitive_closure.h"
+
+#include "graph/topology.h"
+
+namespace reach {
+
+StatusOr<TransitiveClosure> TransitiveClosure::Compute(const Digraph& g,
+                                                       size_t max_bytes) {
+  const size_t n = g.num_vertices();
+  const size_t bytes = n * ((n + 63) / 64) * 8;
+  if (max_bytes != 0 && bytes > max_bytes) {
+    return Status::ResourceExhausted(
+        "transitive closure would need " + std::to_string(bytes) + " bytes");
+  }
+  auto order = TopologicalOrder(g);
+  if (!order.has_value()) {
+    return Status::InvalidArgument("transitive closure requires a DAG");
+  }
+
+  TransitiveClosure tc;
+  tc.rows_.assign(n, Bitset(n));
+  // Reverse topological order: all successors are complete before v.
+  for (size_t i = n; i-- > 0;) {
+    const Vertex v = (*order)[i];
+    Bitset& row = tc.rows_[v];
+    row.Set(v);
+    for (Vertex w : g.OutNeighbors(v)) row.UnionWith(tc.rows_[w]);
+  }
+  return tc;
+}
+
+uint64_t TransitiveClosure::TotalPairs() const {
+  uint64_t total = 0;
+  for (const Bitset& row : rows_) total += row.Count();
+  return total;
+}
+
+std::vector<Vertex> TransitiveClosure::ReachableSet(Vertex v) const {
+  std::vector<Vertex> out;
+  rows_[v].AppendSetBits(&out);
+  return out;
+}
+
+}  // namespace reach

@@ -1,0 +1,100 @@
+#include "util/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reach {
+
+uint64_t IntervalSet::Cardinality() const {
+  uint64_t total = 0;
+  for (const Interval& iv : intervals_) {
+    total += static_cast<uint64_t>(iv.hi) - iv.lo + 1;
+  }
+  return total;
+}
+
+bool IntervalSet::Contains(uint32_t x) const {
+  // First interval with hi >= x; x is contained iff its lo <= x.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](const Interval& iv, uint32_t v) { return iv.hi < v; });
+  return it != intervals_.end() && it->lo <= x;
+}
+
+void IntervalSet::Insert(uint32_t x) { InsertInterval(x, x); }
+
+void IntervalSet::InsertInterval(uint32_t lo, uint32_t hi) {
+  assert(lo <= hi);
+  // Find the first interval that could touch [lo, hi] (hi >= lo - 1).
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, uint32_t v) {
+        return v > 0 && iv.hi < v - 1;
+      });
+  uint32_t new_lo = lo;
+  uint32_t new_hi = hi;
+  auto erase_begin = it;
+  while (it != intervals_.end() &&
+         (new_hi == UINT32_MAX || it->lo <= new_hi + 1)) {
+    new_lo = std::min(new_lo, it->lo);
+    new_hi = std::max(new_hi, it->hi);
+    ++it;
+  }
+  if (erase_begin == it) {
+    intervals_.insert(erase_begin, Interval{new_lo, new_hi});
+  } else {
+    erase_begin->lo = new_lo;
+    erase_begin->hi = new_hi;
+    intervals_.erase(erase_begin + 1, it);
+  }
+}
+
+void IntervalSet::UnionWith(const IntervalSet& other) {
+  if (other.intervals_.empty()) return;
+  if (intervals_.empty()) {
+    intervals_ = other.intervals_;
+    return;
+  }
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  std::merge(intervals_.begin(), intervals_.end(), other.intervals_.begin(),
+             other.intervals_.end(), std::back_inserter(merged),
+             [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  intervals_.swap(merged);
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  if (intervals_.empty()) return;
+  size_t out = 0;
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    Interval& cur = intervals_[out];
+    const Interval& next = intervals_[i];
+    // Coalesce overlapping or adjacent intervals.
+    if (cur.hi == UINT32_MAX || next.lo <= cur.hi + 1) {
+      cur.hi = std::max(cur.hi, next.hi);
+    } else {
+      intervals_[++out] = next;
+    }
+  }
+  intervals_.resize(out + 1);
+}
+
+bool IntervalSet::Intersects(const IntervalSet& other) const {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    if (a.hi < b.lo) {
+      ++i;
+    } else if (b.hi < a.lo) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace reach

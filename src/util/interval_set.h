@@ -1,0 +1,71 @@
+// Sorted disjoint interval set over uint32 ids. This is the storage format of
+// the Nuutila/interval transitive-closure baseline (paper Section 2.1:
+// TC(u) = {1,2,3,4,8,9,10} is stored as [1,4],[8,10]).
+
+#ifndef REACH_UTIL_INTERVAL_SET_H_
+#define REACH_UTIL_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reach {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  uint32_t lo;
+  uint32_t hi;
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// A set of uint32 values kept as sorted, disjoint, non-adjacent closed
+/// intervals. Adjacent intervals ([1,3],[4,6]) are always coalesced.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  bool empty() const { return intervals_.empty(); }
+  size_t interval_count() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Number of values contained.
+  uint64_t Cardinality() const;
+
+  /// Membership test, O(log #intervals).
+  bool Contains(uint32_t x) const;
+
+  /// Inserts a single value, coalescing with neighbors.
+  void Insert(uint32_t x);
+
+  /// Inserts the closed interval [lo, hi].
+  void InsertInterval(uint32_t lo, uint32_t hi);
+
+  /// Union with another interval set (linear merge).
+  void UnionWith(const IntervalSet& other);
+
+  /// True when the two sets share at least one value.
+  bool Intersects(const IntervalSet& other) const;
+
+  /// Removes everything.
+  void Clear() { intervals_.clear(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return intervals_.size() * sizeof(Interval); }
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  // Re-establishes the sorted/disjoint/coalesced invariant after a bulk merge.
+  void Normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_INTERVAL_SET_H_

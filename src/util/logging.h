@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Off by default below kWarning so that
+// benchmark output stays clean; tests and tools can raise verbosity.
+
+#ifndef REACH_UTIL_LOGGING_H_
+#define REACH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace reach {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace reach
+
+#define REACH_LOG(level)                                              \
+  ::reach::internal::LogMessage(::reach::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#endif  // REACH_UTIL_LOGGING_H_

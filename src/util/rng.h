@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation. Every randomized component
+// (generators, workloads, GRAIL's random DFS) takes an explicit seed so that
+// experiments are reproducible run to run.
+
+#ifndef REACH_UTIL_RNG_H_
+#define REACH_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace reach {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Used both directly
+/// and to seed derived streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (< 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent stream for a subcomponent.
+  Rng Fork(uint64_t stream_id) {
+    Rng child(state_ ^ (0x632be59bd9b4e019ULL * (stream_id + 1)));
+    child.Next();
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void Shuffle(Container* c, Rng* rng) {
+  const size_t n = c->size();
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng->Uniform(i);
+    using std::swap;
+    swap((*c)[i - 1], (*c)[j]);
+  }
+}
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_RNG_H_

@@ -1,0 +1,79 @@
+// Algorithms on sorted uint32 vectors. Hop labels are stored as sorted
+// vectors (the paper, Section 1, attributes most of 2-hop's reported query
+// slowness to set-based label storage; merge intersection on sorted arrays
+// removes that gap), so these little routines are the query hot path.
+
+#ifndef REACH_UTIL_SORTED_OPS_H_
+#define REACH_UTIL_SORTED_OPS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace reach {
+
+/// True if the two sorted ranges share at least one element.
+/// Two-pointer merge scan: O(|a| + |b|).
+inline bool SortedIntersects(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  const uint32_t* pa = a.data();
+  const uint32_t* ea = pa + a.size();
+  const uint32_t* pb = b.data();
+  const uint32_t* eb = pb + b.size();
+  while (pa != ea && pb != eb) {
+    if (*pa < *pb) {
+      ++pa;
+    } else if (*pb < *pa) {
+      ++pb;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Binary search membership test.
+inline bool SortedContains(const std::vector<uint32_t>& v, uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Inserts `x` into sorted vector `v` if absent. Returns true if inserted.
+inline bool SortedInsert(std::vector<uint32_t>* v, uint32_t x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it != v->end() && *it == x) return false;
+  v->insert(it, x);
+  return true;
+}
+
+/// Merges sorted `src` into sorted `dst`, dropping duplicates.
+inline void SortedUnionInto(std::vector<uint32_t>* dst,
+                            const std::vector<uint32_t>& src) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = src;
+    return;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(out));
+  dst->swap(out);
+}
+
+/// Sorts and deduplicates in place.
+inline void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// Intersection of two sorted ranges, appended to `out`.
+inline void SortedIntersection(const std::vector<uint32_t>& a,
+                               const std::vector<uint32_t>& b,
+                               std::vector<uint32_t>* out) {
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_SORTED_OPS_H_

@@ -1,0 +1,121 @@
+// Status and StatusOr: lightweight RocksDB-style error handling used across
+// module boundaries instead of exceptions.
+
+#ifndef REACH_UTIL_STATUS_H_
+#define REACH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace reach {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIOError,
+    kResourceExhausted,
+    kNotSupported,
+    kInternal,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of T or a non-OK Status. Minimal absl::StatusOr analogue.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define REACH_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::reach::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// Monotonic wall-clock timing for construction/query measurements.
+
+#ifndef REACH_UTIL_TIMER_H_
+#define REACH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace reach {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_TIMER_H_

@@ -1,0 +1,141 @@
+#include "baselines/pwah.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+Bitset MakeBitset(size_t n, const std::vector<uint32_t>& bits) {
+  Bitset b(n);
+  for (uint32_t i : bits) b.Set(i);
+  return b;
+}
+
+void ExpectRoundTrip(const Bitset& original) {
+  PwahBitset compressed = PwahBitset::Compress(original);
+  // Decompression path.
+  Bitset restored(original.size());
+  compressed.DecompressOrInto(&restored);
+  EXPECT_EQ(restored, original);
+  // Random-access path.
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(compressed.Test(static_cast<uint32_t>(i)), original.Test(i))
+        << "bit " << i;
+  }
+}
+
+TEST(PwahBitsetTest, EmptyBitset) {
+  ExpectRoundTrip(Bitset(0));
+  ExpectRoundTrip(Bitset(1));
+  ExpectRoundTrip(Bitset(1000));
+}
+
+TEST(PwahBitsetTest, AllOnes) {
+  Bitset b(500);
+  for (size_t i = 0; i < 500; ++i) b.Set(i);
+  PwahBitset c = PwahBitset::Compress(b);
+  // A solid run compresses to a handful of words.
+  EXPECT_LE(c.word_count(), 2u);
+  ExpectRoundTrip(b);
+}
+
+TEST(PwahBitsetTest, SparseBits) {
+  ExpectRoundTrip(MakeBitset(2000, {0}));
+  ExpectRoundTrip(MakeBitset(2000, {1999}));
+  ExpectRoundTrip(MakeBitset(2000, {0, 1000, 1999}));
+  ExpectRoundTrip(MakeBitset(63, {62}));
+  ExpectRoundTrip(MakeBitset(7, {3}));
+}
+
+TEST(PwahBitsetTest, LongZeroRunCompressesWell) {
+  Bitset b(1 << 20);
+  b.Set(0);
+  b.Set((1 << 20) - 1);
+  PwahBitset c = PwahBitset::Compress(b);
+  // A megabit with two set bits must stay tiny (extended fills).
+  EXPECT_LE(c.word_count(), 4u);
+  Bitset restored(b.size());
+  c.DecompressOrInto(&restored);
+  EXPECT_EQ(restored, b);
+  EXPECT_TRUE(c.Test(0));
+  EXPECT_TRUE(c.Test((1 << 20) - 1));
+  EXPECT_FALSE(c.Test(500000));
+}
+
+TEST(PwahBitsetTest, AlternatingPattern) {
+  Bitset b(700);
+  for (size_t i = 0; i < 700; i += 2) b.Set(i);
+  ExpectRoundTrip(b);
+}
+
+TEST(PwahBitsetTest, BlockBoundaryPatterns) {
+  // Patterns straddling the 7-bit block and 8-partition word boundaries.
+  for (uint32_t start : {6u, 7u, 8u, 55u, 56u, 57u, 111u, 112u, 113u}) {
+    ExpectRoundTrip(MakeBitset(300, {start, start + 1, start + 2}));
+  }
+}
+
+TEST(PwahBitsetTest, RandomizedRoundTrips) {
+  Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    const size_t n = 1 + rng.Uniform(3000);
+    Bitset b(n);
+    const double density = rng.NextDouble();
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(density * density)) b.Set(i);  // Skew sparse.
+    }
+    ExpectRoundTrip(b);
+  }
+}
+
+TEST(PwahBitsetTest, RandomizedRunHeavyRoundTrips) {
+  Rng rng(2025);
+  for (int round = 0; round < 40; ++round) {
+    const size_t n = 500 + rng.Uniform(5000);
+    Bitset b(n);
+    size_t pos = 0;
+    bool value = false;
+    while (pos < n) {
+      const size_t run = 1 + rng.Uniform(400);
+      if (value) {
+        for (size_t i = pos; i < std::min(n, pos + run); ++i) b.Set(i);
+      }
+      pos += run;
+      value = !value;
+    }
+    ExpectRoundTrip(b);
+  }
+}
+
+TEST(PwahBitsetTest, DecompressOrAccumulates) {
+  Bitset a = MakeBitset(100, {1, 50});
+  Bitset b = MakeBitset(100, {2, 50, 99});
+  PwahBitset ca = PwahBitset::Compress(a);
+  PwahBitset cb = PwahBitset::Compress(b);
+  Bitset acc(100);
+  ca.DecompressOrInto(&acc);
+  cb.DecompressOrInto(&acc);
+  EXPECT_EQ(acc, MakeBitset(100, {1, 2, 50, 99}));
+}
+
+TEST(PwahOracleTest, CorrectOnSmallGraphs) {
+  for (const auto& c : testing_util::SmallPropertyGraphs()) {
+    PwahOracle oracle;
+    ASSERT_TRUE(oracle.Build(c.graph).ok()) << c.label;
+    EXPECT_TRUE(testing_util::OracleMatchesClosure(oracle, c.graph))
+        << c.label;
+  }
+}
+
+TEST(PwahOracleTest, TreeClosureCompressesFarBelowQuadratic) {
+  Digraph g = TreeLikeDag(4000, 0, 5);
+  PwahOracle oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  // Quadratic bitmap storage would be n^2/32 integers; expect far less.
+  EXPECT_LT(oracle.IndexSizeIntegers(), 4000ull * 4000 / 32 / 10);
+}
+
+}  // namespace
+}  // namespace reach

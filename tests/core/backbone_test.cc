@@ -1,0 +1,228 @@
+#include "core/backbone.h"
+
+#include "gtest/gtest.h"
+#include "graph/generators.h"
+#include "graph/topology.h"
+#include "tests/test_util.h"
+
+namespace reach {
+namespace {
+
+std::vector<Vertex> AllVertices(const Digraph& g) {
+  std::vector<Vertex> members(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) members[v] = v;
+  return members;
+}
+
+// Definition 1 coverage: for every pair (u, v) with d(u, v) == epsilon,
+// some backbone vertex w satisfies d(u, w) <= eps and d(w, v) <= eps.
+::testing::AssertionResult CheckDefinitionOneCoverage(const Digraph& g,
+                                                      const Backbone& backbone,
+                                                      uint32_t eps) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    auto du = BfsDistances(g, u);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (du[v] != eps) continue;
+      bool covered = false;
+      for (Vertex w = 0; w < g.num_vertices() && !covered; ++w) {
+        if (!backbone.is_backbone[w]) continue;
+        if (du[w] > eps) continue;
+        auto dw = BfsDistances(g, w);
+        covered = dw[v] <= eps;
+      }
+      if (!covered) {
+        return ::testing::AssertionFailure()
+               << "pair (" << u << "," << v << ") at distance " << eps
+               << " is uncovered";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Lemma 1's substrate: backbone members reach each other in G* iff they do
+// in G.
+::testing::AssertionResult CheckReachabilityPreserved(const Digraph& g,
+                                                      const Backbone& b) {
+  for (Vertex u : b.vertices) {
+    for (Vertex v : b.vertices) {
+      const bool in_g = BfsReachable(g, u, v);
+      const bool in_star = BfsReachable(b.graph, u, v);
+      if (in_g != in_star) {
+        return ::testing::AssertionFailure()
+               << "backbone pair (" << u << "," << v << "): G=" << in_g
+               << " G*=" << in_star;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// The key property behind Theorem 1: every non-local reachable pair has a
+// backbone entry and exit within eps connected in G*.
+::testing::AssertionResult CheckNonLocalPairProperty(const Digraph& g,
+                                                     const Backbone& b,
+                                                     uint32_t eps) {
+  const size_t n = g.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    auto du = BfsDistances(g, u);
+    for (Vertex v = 0; v < n; ++v) {
+      if (du[v] == UINT32_MAX || du[v] <= eps) continue;
+      // Collect entries (backbone within eps of u, forward).
+      bool found = false;
+      for (Vertex e : b.vertices) {
+        if (du[e] > eps) continue;
+        auto de = BfsDistances(g, e);
+        for (Vertex x : b.vertices) {
+          if (de[x] == UINT32_MAX) continue;  // e must reach x in G...
+          // ...and x must locally reach v.
+          auto dx = BfsDistances(g, x);
+          if (dx[v] <= eps && BfsReachable(b.graph, e, x)) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) {
+        return ::testing::AssertionFailure()
+               << "non-local pair (" << u << "," << v << ") d=" << du[v]
+               << " lacks a backbone entry->exit witness";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(BackboneTest, RejectsUnsupportedEpsilon) {
+  Digraph g = ChainDag(4);
+  BackboneOptions options;
+  options.epsilon = 3;
+  auto b = ExtractBackbone(g, AllVertices(g), options);
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(b.status().IsNotSupported());
+}
+
+TEST(BackboneTest, Eps1IsVertexCover) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Digraph g = RandomDag(120, 360, seed);
+    BackboneOptions options;
+    options.epsilon = 1;
+    auto b = ExtractBackbone(g, AllVertices(g), options);
+    ASSERT_TRUE(b.ok());
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (Vertex w : g.OutNeighbors(u)) {
+        EXPECT_TRUE(b->is_backbone[u] || b->is_backbone[w])
+            << "edge (" << u << "," << w << ") uncovered, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(BackboneTest, Eps2CoversDistanceTwoPairs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Digraph g = RandomDag(80, 200, seed);
+    auto b = ExtractBackbone(g, AllVertices(g), BackboneOptions{});
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(CheckDefinitionOneCoverage(g, *b, 2)) << "seed " << seed;
+  }
+}
+
+TEST(BackboneTest, ReachabilityPreservedOnFamilies) {
+  std::vector<Digraph> graphs;
+  graphs.push_back(RandomDag(70, 180, 7));
+  graphs.push_back(TreeLikeDag(90, 12, 8));
+  graphs.push_back(CitationDag(80, 2.5, 9));
+  graphs.push_back(GridDag(6, 6));
+  graphs.push_back(testing_util::PaperFigure1Graph());
+  for (const Digraph& g : graphs) {
+    for (int eps = 1; eps <= 2; ++eps) {
+      BackboneOptions options;
+      options.epsilon = eps;
+      auto b = ExtractBackbone(g, AllVertices(g), options);
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE(CheckReachabilityPreserved(g, *b)) << "eps " << eps;
+    }
+  }
+}
+
+TEST(BackboneTest, NonLocalPairPropertyHolds) {
+  std::vector<Digraph> graphs;
+  graphs.push_back(RandomDag(60, 150, 17));
+  graphs.push_back(TreeLikeDag(70, 10, 18));
+  graphs.push_back(GridDag(5, 7));
+  for (const Digraph& g : graphs) {
+    auto b = ExtractBackbone(g, AllVertices(g), BackboneOptions{});
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(CheckNonLocalPairProperty(g, *b, 2));
+  }
+}
+
+TEST(BackboneTest, BackboneShrinksRealGraphs) {
+  Digraph g = TreeLikeDag(5000, 400, 21);
+  auto b = ExtractBackbone(g, AllVertices(g), BackboneOptions{});
+  ASSERT_TRUE(b.ok());
+  // The paper reports roughly 1/10 of vertices; allow a loose bound.
+  EXPECT_LT(b->vertices.size(), g.num_vertices() / 2);
+  EXPECT_GT(b->vertices.size(), 0u);
+}
+
+TEST(BackboneTest, BackboneEdgesRespectEpsilonPlusOne) {
+  Digraph g = RandomDag(90, 240, 23);
+  auto b = ExtractBackbone(g, AllVertices(g), BackboneOptions{});
+  ASSERT_TRUE(b.ok());
+  for (Vertex u : b->vertices) {
+    auto du = BfsDistances(g, u);
+    for (Vertex w : b->graph.OutNeighbors(u)) {
+      EXPECT_LE(du[w], 3u) << "edge (" << u << "," << w << ")";
+    }
+  }
+}
+
+TEST(BackboneTest, EmptyAndTinyGraphs) {
+  Digraph empty = Digraph::FromEdges(0, {});
+  auto b0 = ExtractBackbone(empty, {}, BackboneOptions{});
+  ASSERT_TRUE(b0.ok());
+  EXPECT_TRUE(b0->vertices.empty());
+
+  Digraph edge = Digraph::FromEdges(2, {{0, 1}});
+  auto b1 = ExtractBackbone(edge, AllVertices(edge), BackboneOptions{});
+  ASSERT_TRUE(b1.ok());  // No distance-2 pair: backbone may be empty.
+}
+
+TEST(BackboneTest, DegreeProductRank) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(DegreeProductRank(g, 1), (2 + 1) * (1 + 1));
+  EXPECT_EQ(DegreeProductRank(g, 0), 2u);  // (1+1)*(0+1).
+  EXPECT_EQ(DegreeProductRank(g, 3), 2u);  // (0+1)*(1+1).
+}
+
+TEST(BoundedBfsTest, DepthLimitAndPruning) {
+  Digraph g = ChainDag(10);
+  BoundedBfs bfs(10);
+  std::vector<Vertex> seen;
+  bfs.Run(
+      g, 0, 3, true, [](Vertex) { return false; },
+      [&seen](Vertex w, uint32_t) { seen.push_back(w); });
+  EXPECT_EQ(seen, (std::vector<Vertex>{1, 2, 3}));
+
+  seen.clear();
+  bfs.Run(
+      g, 0, 5, true, [](Vertex w) { return w == 2; },
+      [&seen](Vertex w, uint32_t) { seen.push_back(w); });
+  // Vertex 2 is collected but not expanded: nothing beyond it.
+  EXPECT_EQ(seen, (std::vector<Vertex>{1, 2}));
+}
+
+TEST(BoundedBfsTest, BackwardDirection) {
+  Digraph g = ChainDag(6);
+  BoundedBfs bfs(6);
+  std::vector<Vertex> seen;
+  bfs.Run(
+      g, 5, 2, false, [](Vertex) { return false; },
+      [&seen](Vertex w, uint32_t) { seen.push_back(w); });
+  EXPECT_EQ(seen, (std::vector<Vertex>{4, 3}));
+}
+
+}  // namespace
+}  // namespace reach

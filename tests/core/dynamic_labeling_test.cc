@@ -1,0 +1,127 @@
+#include "core/dynamic_labeling.h"
+
+#include "gtest/gtest.h"
+#include "graph/generators.h"
+#include "graph/topology.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+TEST(DynamicLabelingTest, BuildMatchesStaticDl) {
+  Digraph g = RandomDag(200, 500, 1);
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  EXPECT_TRUE(testing_util::OracleMatchesClosure(oracle, g));
+  EXPECT_EQ(oracle.inserted_edges(), 0u);
+}
+
+TEST(DynamicLabelingTest, RejectsCycleCreatingEdge) {
+  Digraph g = ChainDag(4);  // 0 -> 1 -> 2 -> 3.
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  EXPECT_TRUE(oracle.InsertEdge(3, 0).IsInvalidArgument());
+  EXPECT_TRUE(oracle.InsertEdge(2, 1).IsInvalidArgument());
+  EXPECT_TRUE(oracle.InsertEdge(1, 1).IsInvalidArgument());
+  EXPECT_TRUE(oracle.InsertEdge(1, 9).IsInvalidArgument());
+  // The failed inserts must not have corrupted anything.
+  EXPECT_TRUE(testing_util::OracleMatchesClosure(oracle, g));
+}
+
+TEST(DynamicLabelingTest, SingleInsertConnectsComponents) {
+  // Two chains; connect them and verify all cross pairs appear.
+  Digraph g = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  EXPECT_FALSE(oracle.Reachable(0, 5));
+  ASSERT_TRUE(oracle.InsertEdge(2, 3).ok());
+  EXPECT_TRUE(oracle.Reachable(0, 5));
+  EXPECT_TRUE(oracle.Reachable(0, 3));
+  EXPECT_TRUE(oracle.Reachable(2, 4));
+  EXPECT_FALSE(oracle.Reachable(5, 0));
+  EXPECT_EQ(oracle.inserted_edges(), 1u);
+}
+
+TEST(DynamicLabelingTest, RedundantInsertIsCheap) {
+  Digraph g = ChainDag(5);
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  const uint64_t before = oracle.IndexSizeIntegers();
+  ASSERT_TRUE(oracle.InsertEdge(0, 4).ok());  // Already reachable.
+  EXPECT_EQ(oracle.IndexSizeIntegers(), before);
+  EXPECT_TRUE(oracle.Reachable(0, 4));
+}
+
+// Property: a random sequence of DAG-preserving insertions keeps the oracle
+// in lockstep with a from-scratch ground truth at every step.
+TEST(DynamicLabelingTest, RandomInsertionSequencesStayComplete) {
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    Rng rng(seed);
+    Digraph g = RandomDag(120, 200, seed);
+    DynamicDistributionLabeling oracle;
+    ASSERT_TRUE(oracle.Build(g).ok());
+
+    GraphBuilder builder(g.num_vertices());
+    for (const Edge& e : g.CollectEdges()) builder.AddEdge(e.from, e.to);
+
+    int accepted = 0;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      const Vertex u = static_cast<Vertex>(rng.Uniform(120));
+      const Vertex v = static_cast<Vertex>(rng.Uniform(120));
+      Status status = oracle.InsertEdge(u, v);
+      if (status.ok()) {
+        builder.AddEdge(u, v);
+        ++accepted;
+      }
+      if (attempt % 10 == 9) {
+        // Full agreement check against the accumulated graph.
+        GraphBuilder copy = builder;
+        Digraph current = copy.Build();
+        EXPECT_TRUE(testing_util::OracleMatchesClosure(oracle, current))
+            << "seed " << seed << " after attempt " << attempt;
+        // Keep the builder usable: re-add everything (Build consumed it).
+        builder = GraphBuilder(current.num_vertices());
+        for (const Edge& e : current.CollectEdges()) {
+          builder.AddEdge(e.from, e.to);
+        }
+      }
+    }
+    EXPECT_GT(accepted, 5) << "seed " << seed;
+  }
+}
+
+TEST(DynamicLabelingTest, CycleRejectionTracksInsertedEdges) {
+  // After inserting a -> b, inserting b -> a must fail even though the base
+  // graph had neither edge.
+  Digraph g = Digraph::FromEdges(3, {});
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  ASSERT_TRUE(oracle.InsertEdge(0, 1).ok());
+  ASSERT_TRUE(oracle.InsertEdge(1, 2).ok());
+  EXPECT_TRUE(oracle.InsertEdge(2, 0).IsInvalidArgument());
+  EXPECT_TRUE(oracle.Reachable(0, 2));
+}
+
+TEST(DynamicLabelingTest, RebuildRestoresCompactness) {
+  Rng rng(77);
+  Digraph g = TreeLikeDag(300, 30, 7);
+  DynamicDistributionLabeling oracle;
+  ASSERT_TRUE(oracle.Build(g).ok());
+  GraphBuilder builder(g.num_vertices());
+  for (const Edge& e : g.CollectEdges()) builder.AddEdge(e.from, e.to);
+  for (int i = 0; i < 80; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.Uniform(300));
+    const Vertex v = static_cast<Vertex>(rng.Uniform(300));
+    if (oracle.InsertEdge(u, v).ok()) builder.AddEdge(u, v);
+  }
+  const uint64_t patched_size = oracle.IndexSizeIntegers();
+  ASSERT_TRUE(oracle.Rebuild().ok());
+  // Rebuilding from scratch can only shrink (patches are not redundant-free).
+  EXPECT_LE(oracle.IndexSizeIntegers(), patched_size);
+  EXPECT_TRUE(testing_util::OracleMatchesClosure(oracle, builder.Build()));
+  EXPECT_EQ(oracle.inserted_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace reach

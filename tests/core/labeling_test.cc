@@ -1,0 +1,86 @@
+#include "core/labeling.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace {
+
+TEST(HopLabelingTest, EmptyLabelsDoNotIntersect) {
+  HopLabeling l(3);
+  EXPECT_FALSE(l.Query(0, 1));
+  EXPECT_FALSE(l.Query(0, 0));
+}
+
+TEST(HopLabelingTest, QueryFindsCommonHop) {
+  HopLabeling l(4);
+  l.InsertOut(0, 7);
+  l.InsertOut(0, 9);
+  l.InsertIn(1, 9);
+  EXPECT_TRUE(l.Query(0, 1));
+  EXPECT_FALSE(l.Query(1, 0));
+}
+
+TEST(HopLabelingTest, InsertKeepsSorted) {
+  HopLabeling l(1);
+  l.InsertOut(0, 9);
+  l.InsertOut(0, 3);
+  l.InsertOut(0, 7);
+  l.InsertOut(0, 3);  // Duplicate ignored.
+  EXPECT_EQ(l.Out(0), (std::vector<uint32_t>{3, 7, 9}));
+}
+
+TEST(HopLabelingTest, AppendPattern) {
+  HopLabeling l(2);
+  l.AppendOut(0, 1);
+  l.AppendOut(0, 5);
+  l.AppendIn(1, 5);
+  EXPECT_TRUE(l.Query(0, 1));
+  EXPECT_EQ(l.TotalEntries(), 3u);
+}
+
+TEST(HopLabelingTest, CanonicalizeSortsBulkAppends) {
+  HopLabeling l(1);
+  l.MutableOut(0)->assign({9, 1, 9, 4});
+  l.MutableIn(0)->assign({3, 3});
+  l.Canonicalize();
+  EXPECT_EQ(l.Out(0), (std::vector<uint32_t>{1, 4, 9}));
+  EXPECT_EQ(l.In(0), (std::vector<uint32_t>{3}));
+}
+
+TEST(HopLabelingTest, SizeAccounting) {
+  HopLabeling l(3);
+  l.InsertOut(0, 1);
+  l.InsertOut(1, 2);
+  l.InsertIn(2, 3);
+  l.InsertIn(2, 4);
+  EXPECT_EQ(l.TotalEntries(), 4u);
+  EXPECT_EQ(l.MaxLabelSize(), 2u);
+  EXPECT_GT(l.MemoryBytes(), 0u);
+}
+
+TEST(HopLabelingTest, SerializationRoundTrip) {
+  HopLabeling l(5);
+  l.InsertOut(0, 10);
+  l.InsertOut(0, 20);
+  l.InsertIn(3, 10);
+  l.InsertIn(4, 99);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(l.Write(ss).ok());
+  auto back = HopLabeling::Read(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, l);
+  EXPECT_TRUE(back->Query(0, 3));
+  EXPECT_FALSE(back->Query(0, 4));
+}
+
+TEST(HopLabelingTest, ReadRejectsGarbage) {
+  std::stringstream ss("garbage bytes here");
+  auto back = HopLabeling::Read(ss);
+  EXPECT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,111 @@
+#include "graph/digraph.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g = Digraph::FromEdges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DigraphTest, BasicAdjacency) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {2, 3}, {1, 3}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<Vertex>(out0.begin(), out0.end()),
+            (std::vector<Vertex>{1, 2}));
+  auto in3 = g.InNeighbors(3);
+  EXPECT_EQ(std::vector<Vertex>(in3.begin(), in3.end()),
+            (std::vector<Vertex>{1, 2}));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+}
+
+TEST(DigraphTest, DuplicateEdgesRemoved) {
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {0, 1}, {1, 2}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(DigraphTest, SelfLoopsDroppedByDefault) {
+  Digraph g = Digraph::FromEdges(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, SelfLoopsKeptOnRequest) {
+  Digraph g = Digraph::FromEdges(2, {{0, 0}, {0, 1}}, true);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, HasEdge) {
+  Digraph g = Digraph::FromEdges(5, {{1, 3}, {1, 4}, {2, 3}});
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 1));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, NeighborsSortedAscending) {
+  Digraph g = Digraph::FromEdges(6, {{0, 5}, {0, 1}, {0, 3}, {4, 0}, {2, 0}});
+  auto out = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto in = g.InNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(DigraphTest, CollectEdgesRoundTrip) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  Digraph g = Digraph::FromEdges(3, edges);
+  auto collected = g.CollectEdges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(collected, edges);
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {1, 2}});
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+}
+
+TEST(DigraphTest, InducedSubgraphSameIds) {
+  Digraph g = Digraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  Digraph sub = g.InducedSubgraphSameIds({0, 1, 4});
+  EXPECT_EQ(sub.num_vertices(), 5u);  // Same id space.
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(0, 4));
+  EXPECT_FALSE(sub.HasEdge(1, 2));
+  EXPECT_FALSE(sub.HasEdge(2, 3));
+  EXPECT_EQ(sub.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, GrowsVertexSpace) {
+  GraphBuilder b;
+  b.AddEdge(2, 7);
+  EXPECT_EQ(b.num_vertices(), 8u);
+  b.EnsureVertices(20);
+  Digraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_TRUE(g.HasEdge(2, 7));
+}
+
+TEST(GraphBuilderTest, MemoryAccounting) {
+  GraphBuilder b(100);
+  for (Vertex v = 0; v + 1 < 100; ++v) b.AddEdge(v, v + 1);
+  Digraph g = b.Build();
+  EXPECT_GT(g.MemoryBytes(), 99 * 2 * sizeof(Vertex));
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,106 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  Digraph g = RandomDag(100, 300, 1);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteEdgeList(g, ss).ok());
+  auto back = ReadEdgeList(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->CollectEdges(), g.CollectEdges());
+}
+
+TEST(GraphIoTest, EdgeListSkipsComments) {
+  std::stringstream ss("# header\n% alt comment\n0 1\n\n1 2\n");
+  auto g = ReadEdgeList(ss);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+}
+
+TEST(GraphIoTest, EdgeListRejectsGarbage) {
+  std::stringstream ss("0 1\nnot an edge\n");
+  auto g = ReadEdgeList(ss);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, GraRoundTrip) {
+  Digraph g = CitationDag(80, 2.5, 2);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGra(g, ss).ok());
+  auto back = ReadGra(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->CollectEdges(), g.CollectEdges());
+}
+
+TEST(GraphIoTest, GraAcceptsBareCountHeader) {
+  std::stringstream ss("3\n0: 1 2 #\n1: #\n2: 1 #\n");
+  auto g = ReadGra(ss);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(GraphIoTest, GraRejectsOutOfRange) {
+  std::stringstream ss("2\n0: 5 #\n");
+  auto g = ReadGra(ss);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, GraRejectsMissingColon) {
+  std::stringstream ss("2\n0 1\n");
+  auto g = ReadGra(ss);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  Digraph g = TreeLikeDag(500, 60, 3);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteBinary(g, ss).ok());
+  auto back = ReadBinary(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->CollectEdges(), g.CollectEdges());
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  std::stringstream ss("this is not a graph");
+  auto g = ReadBinary(ss);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, FileDispatchByExtension) {
+  Digraph g = RandomDag(60, 150, 4);
+  for (const char* name :
+       {"/tmp/reach_io_test.txt", "/tmp/reach_io_test.gra",
+        "/tmp/reach_io_test.bin"}) {
+    ASSERT_TRUE(WriteGraphFile(g, name).ok()) << name;
+    auto back = ReadGraphFile(name);
+    ASSERT_TRUE(back.ok()) << name << ": " << back.status().ToString();
+    EXPECT_EQ(back->CollectEdges(), g.CollectEdges()) << name;
+    std::remove(name);
+  }
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  auto g = ReadGraphFile("/tmp/definitely_missing_reach_graph.bin");
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,86 @@
+#include "graph/topology.h"
+
+#include "gtest/gtest.h"
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+TEST(TopologyTest, TopologicalOrderOfChain) {
+  Digraph g = ChainDag(5);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<Vertex>{0, 1, 2, 3, 4}));
+}
+
+TEST(TopologyTest, CycleHasNoOrder) {
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(TopologicalOrder(g).has_value());
+  EXPECT_FALSE(IsDag(g));
+}
+
+TEST(TopologyTest, OrderRespectsEdges) {
+  Digraph g = RandomDag(400, 1200, 3);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  auto pos = OrderPositions(*order);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex w : g.OutNeighbors(u)) {
+      EXPECT_LT(pos[u], pos[w]);
+    }
+  }
+}
+
+TEST(TopologyTest, OrderPositionsIsInverse) {
+  Digraph g = RandomDag(100, 250, 4);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  auto pos = OrderPositions(*order);
+  for (uint32_t i = 0; i < order->size(); ++i) {
+    EXPECT_EQ(pos[(*order)[i]], i);
+  }
+}
+
+TEST(TopologyTest, GeneratorsAreAcyclic) {
+  EXPECT_TRUE(IsDag(RandomDag(200, 600, 1)));
+  EXPECT_TRUE(IsDag(TreeLikeDag(200, 20, 2)));
+  EXPECT_TRUE(IsDag(CitationDag(200, 3.0, 3)));
+  EXPECT_TRUE(IsDag(LayeredDag(200, 10, 2.0, 4)));
+  EXPECT_TRUE(IsDag(StarForestDag(200, 5)));
+  EXPECT_TRUE(IsDag(HubDag(200, 4, 400, 6)));
+  EXPECT_TRUE(IsDag(GridDag(7, 9)));
+  EXPECT_TRUE(IsDag(DenseLayersDag(4, 10, 0.5, 7)));
+}
+
+TEST(TopologyTest, LongestPathLevels) {
+  // Diamond with a tail: 0->1->3->4, 0->2->3.
+  Digraph g = Digraph::FromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  auto levels = LongestPathLevels(g);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+  EXPECT_EQ(levels[4], 3u);
+}
+
+TEST(TopologyTest, BfsDistances) {
+  Digraph g = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 2}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);  // Via 1.
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[4], 2u);
+  EXPECT_EQ(dist[5], UINT32_MAX);
+}
+
+TEST(TopologyTest, BfsReachableBasics) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(BfsReachable(g, 0, 2));
+  EXPECT_TRUE(BfsReachable(g, 1, 1));  // Reflexive.
+  EXPECT_FALSE(BfsReachable(g, 2, 0));
+  EXPECT_FALSE(BfsReachable(g, 0, 3));
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,66 @@
+// Differential fuzzing: many random graphs per family and seed, the two
+// paper algorithms (DL, HL) and one structurally unrelated baseline (INT)
+// answer the same random pairs; any disagreement with BFS truth fails with
+// a reproducible (family, seed, pair) triple. This complements the
+// exhaustive small-graph sweep with breadth across the random-seed space.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+
+#include "baselines/factory.h"
+#include "graph/generators.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+struct FuzzCase {
+  GraphFamily family;
+  size_t vertices;
+  size_t edges;
+};
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzzTest, OraclesAgreeWithBfs) {
+  const uint64_t seed = GetParam();
+  const FuzzCase cases[] = {
+      {GraphFamily::kSparseRandom, 300, 800},
+      {GraphFamily::kTreeLike, 350, 380},
+      {GraphFamily::kCitation, 280, 700},
+      {GraphFamily::kLayered, 320, 640},
+      {GraphFamily::kStarForest, 400, 400},
+      {GraphFamily::kDenseLayers, 120, 900},
+  };
+  for (const FuzzCase& c : cases) {
+    Digraph g = GenerateFamily(c.family, c.vertices, c.edges, seed * 7919);
+    ASSERT_TRUE(IsDag(g)) << GraphFamilyName(c.family);
+
+    std::unique_ptr<ReachabilityOracle> oracles[] = {
+        MakeOracle("DL"), MakeOracle("HL"), MakeOracle("INT")};
+    for (auto& oracle : oracles) {
+      ASSERT_TRUE(oracle->Build(g).ok())
+          << oracle->name() << " " << GraphFamilyName(c.family) << " seed "
+          << seed;
+    }
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      const Vertex u = static_cast<Vertex>(rng.Uniform(g.num_vertices()));
+      const Vertex v = static_cast<Vertex>(rng.Uniform(g.num_vertices()));
+      const bool truth = BfsReachable(g, u, v);
+      for (auto& oracle : oracles) {
+        ASSERT_EQ(oracle->Reachable(u, v), truth)
+            << oracle->name() << " family " << GraphFamilyName(c.family)
+            << " seed " << seed << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, DifferentialFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,71 @@
+// Shared helpers for the test suite: canonical small graphs, ground-truth
+// comparison against the materialized transitive closure, and the list of
+// graph configurations used by the parameterized property sweeps.
+
+#ifndef REACH_TESTS_TEST_UTIL_H_
+#define REACH_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/oracle.h"
+#include "datasets/paper_examples.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "graph/transitive_closure.h"
+
+namespace reach {
+namespace testing_util {
+
+/// Re-export of the library's Figure 1(a) reconstruction for test brevity.
+using ::reach::PaperFigure1Graph;
+
+/// A diamond: 0 -> {1, 2} -> 3.
+inline Digraph Diamond() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+/// Two disconnected chains: 0->1->2 and 3->4.
+inline Digraph TwoChains() {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  return b.Build();
+}
+
+/// Checks `oracle` against the exact transitive closure on every ordered
+/// pair. Use only for graphs of a few thousand vertices.
+::testing::AssertionResult OracleMatchesClosure(const ReachabilityOracle& oracle,
+                                                const Digraph& dag);
+
+/// Checks `oracle` against BFS ground truth on `samples` random pairs plus
+/// `samples` random-walk positive pairs.
+::testing::AssertionResult OracleMatchesSampled(const ReachabilityOracle& oracle,
+                                                const Digraph& dag,
+                                                size_t samples, uint64_t seed);
+
+/// Graph configurations for the property sweeps.
+struct GraphCase {
+  std::string label;
+  Digraph graph;
+};
+
+/// Small graphs (n <= ~300) spanning every generator family plus
+/// hand-crafted corner cases. Exhaustive all-pairs checks are feasible.
+std::vector<GraphCase> SmallPropertyGraphs();
+
+/// Medium graphs (n ~ 1-3k) for sampled checks.
+std::vector<GraphCase> MediumPropertyGraphs();
+
+}  // namespace testing_util
+}  // namespace reach
+
+#endif  // REACH_TESTS_TEST_UTIL_H_

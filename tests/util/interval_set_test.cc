@@ -1,0 +1,134 @@
+#include "util/interval_set.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+TEST(IntervalSetTest, EmptyBehaviour) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Cardinality(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(IntervalSetTest, SingleInsertAndContains) {
+  IntervalSet s;
+  s.Insert(10);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(11));
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.Cardinality(), 1u);
+}
+
+TEST(IntervalSetTest, AdjacentValuesCoalesce) {
+  IntervalSet s;
+  s.Insert(5);
+  s.Insert(7);
+  EXPECT_EQ(s.interval_count(), 2u);
+  s.Insert(6);  // Bridges [5,5] and [7,7].
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{5, 7}));
+}
+
+TEST(IntervalSetTest, PaperExampleCompression) {
+  // Paper Section 2.1: TC(u) = {1,2,3,4,8,9,10} -> [1,4], [8,10].
+  IntervalSet s;
+  for (uint32_t v : {1, 2, 3, 4, 8, 9, 10}) s.Insert(v);
+  ASSERT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1, 4}));
+  EXPECT_EQ(s.intervals()[1], (Interval{8, 10}));
+  EXPECT_EQ(s.Cardinality(), 7u);
+}
+
+TEST(IntervalSetTest, InsertIntervalMergesOverlaps) {
+  IntervalSet s;
+  s.InsertInterval(10, 20);
+  s.InsertInterval(30, 40);
+  s.InsertInterval(15, 35);  // Swallows the gap.
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 40}));
+}
+
+TEST(IntervalSetTest, UnionWithMergesSets) {
+  IntervalSet a;
+  a.InsertInterval(0, 4);
+  a.InsertInterval(10, 14);
+  IntervalSet b;
+  b.InsertInterval(5, 9);
+  b.InsertInterval(20, 22);
+  a.UnionWith(b);
+  ASSERT_EQ(a.interval_count(), 2u);
+  EXPECT_EQ(a.intervals()[0], (Interval{0, 14}));
+  EXPECT_EQ(a.intervals()[1], (Interval{20, 22}));
+}
+
+TEST(IntervalSetTest, IntersectsDetectsOverlap) {
+  IntervalSet a;
+  a.InsertInterval(0, 10);
+  IntervalSet b;
+  b.InsertInterval(11, 20);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Insert(10);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(IntervalSetTest, BoundaryAtUint32Max) {
+  IntervalSet s;
+  s.Insert(UINT32_MAX);
+  s.Insert(UINT32_MAX - 1);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.Contains(UINT32_MAX));
+  s.InsertInterval(0, UINT32_MAX);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.Cardinality(), uint64_t{UINT32_MAX} + 1);
+}
+
+TEST(IntervalSetTest, RandomizedAgainstStdSet) {
+  Rng rng(4242);
+  IntervalSet s;
+  std::set<uint32_t> ref;
+  for (int op = 0; op < 3000; ++op) {
+    const uint32_t lo = static_cast<uint32_t>(rng.Uniform(500));
+    const uint32_t len = static_cast<uint32_t>(rng.Uniform(8));
+    s.InsertInterval(lo, lo + len);
+    for (uint32_t v = lo; v <= lo + len; ++v) ref.insert(v);
+  }
+  EXPECT_EQ(s.Cardinality(), ref.size());
+  for (uint32_t v = 0; v < 520; ++v) {
+    EXPECT_EQ(s.Contains(v), ref.count(v) > 0) << "value " << v;
+  }
+  // Invariant: sorted, disjoint, non-adjacent.
+  for (size_t i = 1; i < s.intervals().size(); ++i) {
+    EXPECT_GT(s.intervals()[i].lo, s.intervals()[i - 1].hi + 1);
+  }
+}
+
+TEST(IntervalSetTest, RandomizedUnionAgainstStdSet) {
+  Rng rng(777);
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a;
+    IntervalSet b;
+    std::set<uint32_t> ref;
+    for (int i = 0; i < 40; ++i) {
+      const uint32_t lo = static_cast<uint32_t>(rng.Uniform(300));
+      const uint32_t len = static_cast<uint32_t>(rng.Uniform(5));
+      if (i % 2 == 0) {
+        a.InsertInterval(lo, lo + len);
+      } else {
+        b.InsertInterval(lo, lo + len);
+      }
+      for (uint32_t v = lo; v <= lo + len; ++v) ref.insert(v);
+    }
+    a.UnionWith(b);
+    EXPECT_EQ(a.Cardinality(), ref.size());
+    for (uint32_t v : ref) EXPECT_TRUE(a.Contains(v));
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,79 @@
+#include "util/sorted_ops.h"
+
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+TEST(SortedOpsTest, IntersectsBasics) {
+  EXPECT_FALSE(SortedIntersects({}, {}));
+  EXPECT_FALSE(SortedIntersects({1, 3, 5}, {}));
+  EXPECT_FALSE(SortedIntersects({1, 3, 5}, {2, 4, 6}));
+  EXPECT_TRUE(SortedIntersects({1, 3, 5}, {5}));
+  EXPECT_TRUE(SortedIntersects({5}, {1, 3, 5}));
+  EXPECT_TRUE(SortedIntersects({1, 2}, {0, 2, 9}));
+}
+
+TEST(SortedOpsTest, ContainsBinarySearch) {
+  std::vector<uint32_t> v{2, 4, 8, 16};
+  EXPECT_TRUE(SortedContains(v, 2));
+  EXPECT_TRUE(SortedContains(v, 16));
+  EXPECT_FALSE(SortedContains(v, 3));
+  EXPECT_FALSE(SortedContains({}, 0));
+}
+
+TEST(SortedOpsTest, SortedInsertKeepsOrderAndUniqueness) {
+  std::vector<uint32_t> v;
+  EXPECT_TRUE(SortedInsert(&v, 5));
+  EXPECT_TRUE(SortedInsert(&v, 1));
+  EXPECT_TRUE(SortedInsert(&v, 9));
+  EXPECT_FALSE(SortedInsert(&v, 5));  // Duplicate.
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 5, 9}));
+}
+
+TEST(SortedOpsTest, UnionInto) {
+  std::vector<uint32_t> dst{1, 4, 6};
+  SortedUnionInto(&dst, {2, 4, 7});
+  EXPECT_EQ(dst, (std::vector<uint32_t>{1, 2, 4, 6, 7}));
+  SortedUnionInto(&dst, {});
+  EXPECT_EQ(dst.size(), 5u);
+  std::vector<uint32_t> empty;
+  SortedUnionInto(&empty, {3, 3'000'000});
+  EXPECT_EQ(empty, (std::vector<uint32_t>{3, 3'000'000}));
+}
+
+TEST(SortedOpsTest, SortUnique) {
+  std::vector<uint32_t> v{5, 1, 5, 3, 1};
+  SortUnique(&v);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(SortedOpsTest, Intersection) {
+  std::vector<uint32_t> out;
+  SortedIntersection({1, 2, 3, 8}, {2, 3, 9}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(SortedOpsTest, RandomizedIntersectsAgainstStdSet) {
+  Rng rng(1001);
+  for (int round = 0; round < 200; ++round) {
+    std::set<uint32_t> sa;
+    std::set<uint32_t> sb;
+    const size_t na = rng.Uniform(20);
+    const size_t nb = rng.Uniform(20);
+    for (size_t i = 0; i < na; ++i) sa.insert(rng.Uniform(40));
+    for (size_t i = 0; i < nb; ++i) sb.insert(rng.Uniform(40));
+    std::vector<uint32_t> va(sa.begin(), sa.end());
+    std::vector<uint32_t> vb(sb.begin(), sb.end());
+    bool expected = false;
+    for (uint32_t x : sa) expected |= sb.count(x) > 0;
+    EXPECT_EQ(SortedIntersects(va, vb), expected);
+  }
+}
+
+}  // namespace
+}  // namespace reach
