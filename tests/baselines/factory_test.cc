@@ -1,0 +1,64 @@
+// MakeOracle registry: every advertised name constructs, unknown names are
+// rejected with nullptr, and every constructed oracle answers the Figure 1
+// running example exactly.
+
+#include "baselines/factory.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace reach {
+namespace {
+
+using testing_util::OracleMatchesClosure;
+
+TEST(FactoryTest, AdvertisedNamesAreRegistered) {
+  const std::vector<std::string>& names = AllOracleNames();
+  for (const char* required :
+       {"DL", "HL", "TF", "2HOP", "PL", "GL", "GL*", "PT", "PT*", "INT",
+        "PW8", "KR", "BFS", "BiBFS"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "registry is missing " << required;
+  }
+}
+
+TEST(FactoryTest, EveryRegisteredNameConstructs) {
+  for (const std::string& name : AllOracleNames()) {
+    std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    EXPECT_FALSE(oracle->name().empty()) << name;
+  }
+}
+
+TEST(FactoryTest, PaperNamesAreSubsetOfRegistry) {
+  const std::vector<std::string>& all = AllOracleNames();
+  for (const std::string& name : PaperOracleNames()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+TEST(FactoryTest, UnknownNamesRejectedCleanly) {
+  EXPECT_EQ(MakeOracle(""), nullptr);
+  EXPECT_EQ(MakeOracle("DLX"), nullptr);
+  EXPECT_EQ(MakeOracle("dl"), nullptr);
+  EXPECT_EQ(MakeOracle("no-such-oracle"), nullptr);
+}
+
+TEST(FactoryTest, EveryOracleRoundTripsFigure1) {
+  const Digraph g = PaperFigure1Graph();
+  for (const std::string& name : AllOracleNames()) {
+    std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    Status st = oracle->Build(g);
+    ASSERT_TRUE(st.ok()) << name << ": " << st.ToString();
+    EXPECT_TRUE(OracleMatchesClosure(*oracle, g)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace reach

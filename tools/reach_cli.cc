@@ -8,7 +8,9 @@
 // Cyclic graphs are fine: the tool condenses SCCs before indexing.
 
 #include <cstdio>
+#include <cerrno>
 #include <cstring>
+#include <limits>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -36,6 +38,23 @@ void Usage() {
                "from stdin\n");
 }
 
+// strtoull alone is too lax: it skips whitespace, negates signed input,
+// and saturates on overflow. Require pure digits that fit in Vertex.
+bool ParseVertex(const std::string& token, reach::Vertex* out) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  const uint64_t value = std::strtoull(token.c_str(), nullptr, 10);
+  if (errno == ERANGE ||
+      value > std::numeric_limits<reach::Vertex>::max()) {
+    return false;
+  }
+  *out = static_cast<reach::Vertex>(value);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,7 +67,7 @@ int main(int argc, char** argv) {
   std::string oracle_name = "DL";
   bool stats = false;
   std::vector<std::pair<Vertex, Vertex>> pairs;
-  std::vector<uint64_t> positional;
+  std::vector<Vertex> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--oracle=", 0) == 0) {
@@ -61,16 +80,27 @@ int main(int argc, char** argv) {
     } else if (graph_path.empty()) {
       graph_path = arg;
     } else {
-      positional.push_back(std::strtoull(arg.c_str(), nullptr, 10));
+      Vertex value = 0;
+      if (!ParseVertex(arg, &value)) {
+        std::fprintf(stderr, "error: '%s' is not a vertex id\n", arg.c_str());
+        Usage();
+        return 2;
+      }
+      positional.push_back(value);
     }
   }
   if (graph_path.empty()) {
     Usage();
     return 2;
   }
+  if (positional.size() % 2 != 0) {
+    std::fprintf(stderr, "error: query vertices must come in pairs (got %zu)\n",
+                 positional.size());
+    Usage();
+    return 2;
+  }
   for (size_t i = 0; i + 1 < positional.size(); i += 2) {
-    pairs.emplace_back(static_cast<Vertex>(positional[i]),
-                       static_cast<Vertex>(positional[i + 1]));
+    pairs.emplace_back(positional[i], positional[i + 1]);
   }
 
   auto graph = ReadGraphFile(graph_path);
@@ -116,10 +146,22 @@ int main(int argc, char** argv) {
     for (const auto& [u, v] : pairs) answer(u, v);
     return 0;
   }
-  uint64_t u = 0;
-  uint64_t v = 0;
-  while (std::cin >> u >> v) {
-    answer(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  std::string u_token;
+  std::string v_token;
+  while (std::cin >> u_token) {
+    if (!(std::cin >> v_token)) {
+      std::fprintf(stderr, "error: trailing vertex '%s' without a pair\n",
+                   u_token.c_str());
+      return 2;
+    }
+    Vertex u = 0;
+    Vertex v = 0;
+    if (!ParseVertex(u_token, &u) || !ParseVertex(v_token, &v)) {
+      std::fprintf(stderr, "error: '%s %s' is not a vertex-id pair\n",
+                   u_token.c_str(), v_token.c_str());
+      return 2;
+    }
+    answer(u, v);
   }
   return 0;
 }
