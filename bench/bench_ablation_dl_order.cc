@@ -4,8 +4,10 @@
 // what makes DL's labeling smaller than set-cover 2HOP.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/harness.h"
+#include "datasets/registry.h"
 #include "core/distribution_labeling.h"
 #include "query/workload.h"
 #include "util/timer.h"
@@ -13,7 +15,11 @@
 int main(int argc, char** argv) {
   using namespace reach;
   using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  int exit_code = 0;
+  const std::optional<BenchConfig> parsed =
+      ParseAblationArgs(argc, argv, &exit_code);
+  if (!parsed) return exit_code;
+  const BenchConfig& config = *parsed;
 
   std::printf("== Ablation: DL vertex-order policy ==\n");
   std::printf(
@@ -44,13 +50,12 @@ int main(int argc, char** argv) {
       DistributionOptions options;
       options.order = order;
       DistributionLabelingOracle oracle(options);
-      Timer build_timer;
       if (!oracle.Build(g).ok()) {
         std::printf("%-14s %-24s %14s\n", name,
                     DistributionOrderName(order).c_str(), "--");
         continue;
       }
-      const double build_ms = build_timer.ElapsedMillis();
+      const double build_ms = oracle.build_stats().build_millis;
       Timer query_timer;
       size_t hits = 0;
       for (const Query& q : workload.queries) {

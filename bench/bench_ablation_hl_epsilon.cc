@@ -4,8 +4,10 @@
 // recursive decomposition stops.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/harness.h"
+#include "datasets/registry.h"
 #include "core/hierarchical_labeling.h"
 #include "query/workload.h"
 #include "util/timer.h"
@@ -13,7 +15,11 @@
 int main(int argc, char** argv) {
   using namespace reach;
   using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  int exit_code = 0;
+  const std::optional<BenchConfig> parsed =
+      ParseAblationArgs(argc, argv, &exit_code);
+  if (!parsed) return exit_code;
+  const BenchConfig& config = *parsed;
 
   std::printf("== Ablation: HL epsilon and core threshold ==\n");
   std::printf(
@@ -49,13 +55,12 @@ int main(int argc, char** argv) {
       options.hierarchy.backbone.epsilon = c.epsilon;
       options.hierarchy.core_size_threshold = c.core_threshold;
       HierarchicalLabelingOracle oracle(options);
-      Timer build_timer;
       if (!oracle.Build(g).ok()) {
         std::printf("%-12s %4d %10zu %8s\n", name, c.epsilon,
                     c.core_threshold, "--");
         continue;
       }
-      const double build_ms = build_timer.ElapsedMillis();
+      const double build_ms = oracle.build_stats().build_millis;
       Timer query_timer;
       size_t hits = 0;
       for (const Query& q : workload.queries) {

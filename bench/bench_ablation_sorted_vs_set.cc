@@ -6,10 +6,12 @@
 // sorted-vector merge intersection and (b) a std::set-based intersection.
 
 #include <cstdio>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "bench/harness.h"
+#include "datasets/registry.h"
 #include "core/distribution_labeling.h"
 #include "query/workload.h"
 #include "util/timer.h"
@@ -32,8 +34,13 @@ bool SetIntersects(const std::set<uint32_t>& a, const std::set<uint32_t>& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace reach;
   using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
+  int exit_code = 0;
+  const std::optional<BenchConfig> parsed =
+      ParseAblationArgs(argc, argv, &exit_code);
+  if (!parsed) return exit_code;
+  const BenchConfig& config = *parsed;
 
   std::printf("== Ablation: sorted-vector vs std::set label storage ==\n");
   std::printf(

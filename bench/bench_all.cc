@@ -1,0 +1,93 @@
+// bench_all: runs any subset of the registered paper experiments
+// (tables 1-7, figures 3-4) in one process with one report.
+//
+//   bench_all                                  # every experiment, text
+//   bench_all --experiments=table5,fig3        # a subset
+//   bench_all --quick --format=json --out=bench.json   # CI baseline
+//
+// CSV/JSON runs emit one document covering all selected experiments, so a
+// run can be archived and diffed against a previous PR's artifact.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "bench/harness.h"
+#include "bench/reporter.h"
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  using namespace reach::bench;
+
+  const StatusOr<BenchOverrides> overrides =
+      ParseArgs(argc, argv, /*allow_experiments=*/true);
+  if (!overrides.ok()) {
+    std::fprintf(stderr, "%s\n%s", overrides.status().message().c_str(),
+                 UsageString(/*allow_experiments=*/true).c_str());
+    return 2;
+  }
+  if (overrides->help) {
+    std::printf("bench_all: run registered paper experiments\n%s",
+                UsageString(/*allow_experiments=*/true).c_str());
+    return 0;
+  }
+
+  std::vector<ExperimentSpec> selected;
+  if (overrides->experiments.empty()) {
+    selected = ExperimentRegistry();
+  } else {
+    for (const std::string& id : overrides->experiments) {
+      // The selection is a set: a repeated id must not run (and report)
+      // the experiment twice.
+      bool already = false;
+      for (const ExperimentSpec& spec : selected) already |= spec.id == id;
+      if (already) continue;
+      const StatusOr<ExperimentSpec> spec = FindExperiment(id);
+      if (!spec.ok()) {  // Unreachable: ParseArgs validates ids.
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      selected.push_back(*spec);
+    }
+  }
+
+  // A requested dataset must have a row in at least one selected
+  // experiment; tier-mismatched experiments in between merely note it
+  // (DatasetError), but a dataset no experiment covers means the user's
+  // run would measure nothing for it — fail instead of exiting 0.
+  for (const std::string& dataset : overrides->datasets) {
+    bool covered = false;
+    for (const ExperimentSpec& spec : selected) {
+      covered |= ExperimentCoversDataset(spec, dataset);
+    }
+    if (!covered) {
+      std::fprintf(stderr,
+                   "dataset '%s' is not part of any selected experiment\n",
+                   dataset.c_str());
+      return 2;
+    }
+  }
+
+  // The reporter is format/out-scoped, not experiment-scoped: build it from
+  // any one resolved config (format and out_path are override-determined).
+  const BenchConfig reporter_config =
+      ApplyOverrides(DefaultConfigFor(selected.front()), *overrides);
+  StatusOr<std::unique_ptr<Reporter>> reporter =
+      MakeReporter(reporter_config);
+  if (!reporter.ok()) {
+    std::fprintf(stderr, "%s\n", reporter.status().ToString().c_str());
+    return 2;
+  }
+
+  // Shared across experiments: several tables measure the same (dataset,
+  // method) cell under the same budget, and a doomed build should burn its
+  // budget once, not once per table.
+  RunCache cache;
+  for (const ExperimentSpec& spec : selected) {
+    const BenchConfig config = ApplyOverrides(DefaultConfigFor(spec),
+                                              *overrides);
+    RunExperiment(spec, config, reporter->get(), &cache);
+  }
+  (*reporter)->EndRun();
+  return 0;
+}

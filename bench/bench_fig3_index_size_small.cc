@@ -1,16 +1,10 @@
-// Reproduces Figure 3: index size (number of stored integers), small graphs.
+// Reproduces Figure 3: index size, small graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=fig3 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
-  RunTable(
-      "Figure 3: index size (integers), small graphs",
-      "PW8/INT smallest; DL consistently <= 2HOP (the paper's surprise "
-      "result, attributed to non-redundancy); HL comparable to 2HOP; "
-      "DL and HL < TF; GL = 2*k*n by construction",
-      reach::SmallDatasets(), Metric::kIndexIntegers, WorkloadKind::kNone,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("fig3", argc, argv);
 }

@@ -1,16 +1,10 @@
-// Reproduces Figure 4: index size (number of stored integers), large graphs.
+// Reproduces Figure 4: index size, large graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=fig4 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
-  RunTable(
-      "Figure 4: index size (integers), large graphs",
-      "DL smaller than HL and close to (or better than) 2HOP where 2HOP "
-      "runs; PW8/INT small where closures compress; GL/KR larger; TF "
-      "slightly above DL",
-      reach::LargeDatasets(), Metric::kIndexIntegers, WorkloadKind::kNone,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("fig4", argc, argv);
 }

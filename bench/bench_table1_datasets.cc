@@ -1,10 +1,10 @@
-// Reproduces Table 1: the dataset inventory (|V|, |E| per graph).
+// Reproduces the Table 1 dataset inventory. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table1 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
-  RunDatasetInventory(reach::SmallDatasets(), reach::LargeDatasets(), config);
-  return 0;
+  return reach::bench::RunExperimentMain("table1", argc, argv);
 }

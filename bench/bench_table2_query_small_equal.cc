@@ -1,16 +1,10 @@
-// Reproduces Table 2: query time (ms) on the equal workload (~50% positive),
-// 14 small datasets, all methods.
+// Reproduces Table 2: query time, equal workload, small graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table2 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
-  RunTable(
-      "Table 2: query time (ms), equal workload, small graphs",
-      "PT fastest; KR close; DL ~2x PT and faster than INT/PW8; "
-      "DL ~2/3 of 2HOP; HL comparable to 2HOP; GL and PL slowest",
-      reach::SmallDatasets(), Metric::kQueryMillis, WorkloadKind::kEqual,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table2", argc, argv);
 }

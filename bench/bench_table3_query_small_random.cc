@@ -1,16 +1,10 @@
-// Reproduces Table 3: query time (ms) on the random workload (uniform pairs,
-// mostly negative), 14 small datasets, all methods.
+// Reproduces Table 3: query time, random workload, small graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table3 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, SmallTableDefaults());
-  RunTable(
-      "Table 3: query time (ms), random workload, small graphs",
-      "oracles slightly slower than on the equal load (negative queries scan "
-      "whole labels); PT still fastest; GL improves on mostly-negative load",
-      reach::SmallDatasets(), Metric::kQueryMillis, WorkloadKind::kRandom,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table3", argc, argv);
 }

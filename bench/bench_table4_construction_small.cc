@@ -1,20 +1,10 @@
-// Reproduces Table 4: index construction time (ms), 14 small datasets.
+// Reproduces Table 4: construction time, small graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table4 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig defaults = SmallTableDefaults();
-  // 2HOP on arxiv needs ~150s (the paper's own Table 4 reports 131.9s for
-  // it); give the construction table enough budget to show that number.
-  defaults.build_time_budget_seconds = 200;
-  BenchConfig config = ParseArgs(argc, argv, defaults);
-  RunTable(
-      "Table 4: construction time (ms), small graphs",
-      "KR and 2HOP slowest (vertex-cover/set-cover + TC materialization); "
-      "INT/PW8 fastest; DL ~20x faster than 2HOP and comparable to INT; "
-      "HL ~5x faster than 2HOP; TF and PL between DL and HL",
-      reach::SmallDatasets(), Metric::kConstructionMillis, WorkloadKind::kNone,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table4", argc, argv);
 }

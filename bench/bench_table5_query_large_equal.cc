@@ -1,18 +1,10 @@
-// Reproduces Table 5: query time on the equal workload, 13 large datasets
-// (scaled stand-ins). "--" = construction exceeded the laptop-scale budget,
-// mirroring the paper's DNF entries.
+// Reproduces Table 5: query time, equal workload, large graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table5 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
-  RunTable(
-      "Table 5: query time (ms per 100k), equal workload, large graphs",
-      "reachability oracles (DL/HL/TF) fastest; TC compression (INT/PW8) "
-      "slows as closures grow; PT/KR/2HOP fail on most large graphs; "
-      "GL slowest on positive-heavy loads",
-      reach::LargeDatasets(), Metric::kQueryMillis, WorkloadKind::kEqual,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table5", argc, argv);
 }

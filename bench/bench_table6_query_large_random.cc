@@ -1,15 +1,10 @@
-// Reproduces Table 6: query time on the random workload, 13 large datasets.
+// Reproduces Table 6: query time, random workload, large graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table6 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
-  RunTable(
-      "Table 6: query time (ms per 100k), random workload, large graphs",
-      "same ordering as Table 5; oracle scans full labels on negatives but "
-      "stays fastest; GL's interval pruning helps on mostly-negative load",
-      reach::LargeDatasets(), Metric::kQueryMillis, WorkloadKind::kRandom,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table6", argc, argv);
 }

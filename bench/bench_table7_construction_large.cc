@@ -1,16 +1,10 @@
-// Reproduces Table 7: construction time, 13 large datasets.
+// Reproduces Table 7: construction time, large graphs. The experiment itself
+// (datasets, metric, workload, caption) is defined once in the registry
+// (bench/experiments.cc); this binary is a thin lookup kept for muscle
+// memory — bench_all --experiments=table7 runs the same thing.
 
-#include "bench/harness.h"
+#include "bench/experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace reach::bench;
-  BenchConfig config = ParseArgs(argc, argv, LargeTableDefaults());
-  RunTable(
-      "Table 7: construction time (ms), large graphs",
-      "DL comparable to the fastest methods and finishes everywhere; HL "
-      "finishes where 2HOP cannot; 2HOP/KR/PT hit the budget on most "
-      "graphs; GL always finishes",
-      reach::LargeDatasets(), Metric::kConstructionMillis, WorkloadKind::kNone,
-      config);
-  return 0;
+  return reach::bench::RunExperimentMain("table7", argc, argv);
 }

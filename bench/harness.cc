@@ -1,15 +1,15 @@
 #include "bench/harness.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstring>
-#include <memory>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "baselines/factory.h"
-#include "core/distribution_labeling.h"
-#include "query/workload.h"
-#include "util/timer.h"
+#include "bench/experiments.h"
+#include "datasets/registry.h"
+#include "util/strict_parse.h"
 
 namespace reach {
 namespace bench {
@@ -31,28 +31,92 @@ std::vector<std::string> SplitCsv(const std::string& value) {
   return out;
 }
 
-std::vector<DatasetSpec> FilterDatasets(const std::vector<DatasetSpec>& all,
-                                        const BenchConfig& config) {
-  if (config.datasets.empty()) return all;
-  std::vector<DatasetSpec> out;
-  for (const DatasetSpec& spec : all) {
-    for (const std::string& wanted : config.datasets) {
-      if (spec.name == wanted) out.push_back(spec);
+std::vector<std::string> KnownDatasetNames() {
+  std::vector<std::string> names;
+  for (const DatasetSpec& spec : SmallDatasets()) names.push_back(spec.name);
+  for (const DatasetSpec& spec : LargeDatasets()) names.push_back(spec.name);
+  return names;
+}
+
+Status ParseUintValue(const std::string& flag, const std::string& text,
+                      uint64_t* out) {
+  if (!ParseDecimalUint64(text, out)) {
+    return Status::InvalidArgument(
+        flag + " expects a non-negative integer, got '" + text + "'");
+  }
+  return Status::OK();
+}
+
+/// Strict full-string parse of a non-negative finite decimal double flag
+/// value: no sign, whitespace, or strtod's hex-float/nan/inf forms.
+Status ParseDoubleValue(const std::string& flag, const std::string& text,
+                        double* out) {
+  const Status bad = Status::InvalidArgument(
+      flag + " expects a non-negative number, got '" + text + "'");
+  // The +/- are admitted for exponents ("2.5e+3") only, not as a leading
+  // sign; the charset also excludes strtod's whitespace/hex/nan/inf forms.
+  if (text.empty() ||
+      text.find_first_not_of("0123456789.eE+-") != std::string::npos ||
+      text[0] == '+' || text[0] == '-') {
+    return bad;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(parsed) || parsed < 0) {
+    return bad;
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ValidateNames(const std::string& flag,
+                     const std::vector<std::string>& requested,
+                     const std::vector<std::string>& known) {
+  for (const std::string& name : requested) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown name '" + name + "' in " + flag +
+                                     "; known: " + JoinNames(known));
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
   }
   return out;
 }
 
-std::vector<std::string> MethodsFor(const BenchConfig& config) {
-  return config.methods.empty() ? PaperOracleNames() : config.methods;
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kQueryMillis:
+      return "query_ms_per_100k";
+    case Metric::kConstructionMillis:
+      return "construction_ms";
+    case Metric::kIndexIntegers:
+      return "index_integers";
+  }
+  return "unknown";
 }
 
-void PrintRule(size_t width) {
-  for (size_t i = 0; i < width; ++i) std::putchar('-');
-  std::putchar('\n');
+std::string WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kEqual:
+      return "equal";
+    case WorkloadKind::kRandom:
+      return "random";
+    case WorkloadKind::kNone:
+      return "none";
+  }
+  return "unknown";
 }
-
-}  // namespace
 
 BenchConfig SmallTableDefaults() {
   BenchConfig config;
@@ -72,158 +136,135 @@ BenchConfig LargeTableDefaults() {
   return config;
 }
 
-BenchConfig ParseArgs(int argc, char** argv, const BenchConfig& defaults) {
-  BenchConfig config = defaults;
+StatusOr<BenchOverrides> ParseArgs(int argc, char** argv,
+                                   bool allow_experiments) {
+  BenchOverrides overrides;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
-      config.quick = true;
-      config.num_queries = 2000;
-      config.build_time_budget_seconds = 5;
-      if (config.build_index_budget_integers == 0 ||
-          config.build_index_budget_integers > 20000000) {
-        config.build_index_budget_integers = 20000000;
-      }
+      overrides.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      overrides.help = true;
     } else if (arg.rfind("--queries=", 0) == 0) {
-      config.num_queries = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      uint64_t value = 0;
+      REACH_RETURN_IF_ERROR(
+          ParseUintValue("--queries", arg.substr(10), &value));
+      if (value == 0) {
+        return Status::InvalidArgument("--queries must be >= 1");
+      }
+      overrides.num_queries = static_cast<size_t>(value);
     } else if (arg.rfind("--datasets=", 0) == 0) {
-      config.datasets = SplitCsv(arg.substr(11));
+      overrides.datasets = SplitCsv(arg.substr(11));
+      REACH_RETURN_IF_ERROR(ValidateNames("--datasets", overrides.datasets,
+                                          KnownDatasetNames()));
     } else if (arg.rfind("--methods=", 0) == 0) {
-      config.methods = SplitCsv(arg.substr(10));
+      overrides.methods = SplitCsv(arg.substr(10));
+      REACH_RETURN_IF_ERROR(
+          ValidateNames("--methods", overrides.methods, AllOracleNames()));
     } else if (arg.rfind("--budget-seconds=", 0) == 0) {
-      config.build_time_budget_seconds = std::strtod(arg.c_str() + 17, nullptr);
+      double value = 0;
+      REACH_RETURN_IF_ERROR(
+          ParseDoubleValue("--budget-seconds", arg.substr(17), &value));
+      overrides.budget_seconds = value;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(9);
+      if (format != "text" && format != "csv" && format != "json") {
+        return Status::InvalidArgument(
+            "--format must be text, csv, or json; got '" + format + "'");
+      }
+      overrides.format = format;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      overrides.out_path = arg.substr(6);
+      if (overrides.out_path.empty()) {
+        return Status::InvalidArgument("--out requires a path");
+      }
+    } else if (allow_experiments && arg.rfind("--experiments=", 0) == 0) {
+      overrides.experiments = SplitCsv(arg.substr(14));
+      REACH_RETURN_IF_ERROR(ValidateNames("--experiments",
+                                          overrides.experiments,
+                                          ExperimentIds()));
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s (known: --quick --queries= --datasets= "
-                   "--methods= --budget-seconds=)\n",
-                   arg.c_str());
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
   }
+  return overrides;
+}
+
+BenchConfig ApplyOverrides(const BenchConfig& defaults,
+                           const BenchOverrides& overrides) {
+  BenchConfig config = defaults;
+  if (overrides.quick) {
+    config.quick = true;
+    config.num_queries = 2000;
+    config.build_time_budget_seconds = 5;
+    if (config.build_index_budget_integers == 0 ||
+        config.build_index_budget_integers > 20000000) {
+      config.build_index_budget_integers = 20000000;
+    }
+  }
+  // Explicit flags beat both the tier defaults and the --quick values.
+  if (overrides.num_queries) config.num_queries = *overrides.num_queries;
+  if (overrides.budget_seconds) {
+    config.build_time_budget_seconds = *overrides.budget_seconds;
+  }
+  config.datasets = overrides.datasets;
+  config.methods = overrides.methods;
+  config.format = overrides.format;
+  config.out_path = overrides.out_path;
   return config;
 }
 
-void RunTable(const std::string& title, const std::string& shape_note,
-              const std::vector<DatasetSpec>& all_datasets, Metric metric,
-              WorkloadKind workload_kind, const BenchConfig& config) {
-  const std::vector<DatasetSpec> datasets = FilterDatasets(all_datasets,
-                                                           config);
-  const std::vector<std::string> methods = MethodsFor(config);
-
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("paper_shape: %s\n", shape_note.c_str());
-  if (metric == Metric::kQueryMillis) {
-    std::printf("metric: total ms per 100,000 queries (measured with %zu)\n",
-                config.num_queries);
-  } else if (metric == Metric::kConstructionMillis) {
-    std::printf("metric: index construction ms\n");
-  } else {
-    std::printf("metric: index size in number of stored integers\n");
+std::optional<BenchConfig> ParseAblationArgs(int argc, char** argv,
+                                             int* exit_code) {
+  static const char kAblationUsage[] =
+      "flags (the ablation's dataset/method matrix is fixed; output is a "
+      "text table on stdout):\n"
+      "  --quick       smoke mode (few queries)\n"
+      "  --queries=N   queries per workload (positive integer)\n";
+  const StatusOr<BenchOverrides> overrides =
+      ParseArgs(argc, argv, /*allow_experiments=*/false);
+  if (!overrides.ok()) {
+    std::fprintf(stderr, "%s\n%s", overrides.status().message().c_str(),
+                 kAblationUsage);
+    *exit_code = 2;
+    return std::nullopt;
   }
-  std::printf("budget: %.0fs build time%s; '--' = did not finish\n\n",
-              config.build_time_budget_seconds,
-              config.build_index_budget_integers > 0 ? ", capped index" : "");
-
-  // Header.
-  std::printf("%-16s", "dataset");
-  for (const std::string& m : methods) std::printf("%12s", m.c_str());
-  std::printf("\n");
-  PrintRule(16 + 12 * methods.size());
-
-  for (const DatasetSpec& spec : datasets) {
-    const Digraph graph = MakeDataset(spec);
-
-    // Workload (query tables only): ground truth via DL, whose correctness
-    // the test suite establishes independently of any method under test.
-    Workload workload;
-    if (metric == Metric::kQueryMillis) {
-      DistributionLabelingOracle truth;
-      if (!truth.Build(graph).ok()) {
-        std::printf("%-16s  <workload truth build failed>\n",
-                    spec.name.c_str());
-        continue;
-      }
-      WorkloadOptions options;
-      options.num_queries = config.num_queries;
-      options.seed = 7 + spec.seed;
-      workload = workload_kind == WorkloadKind::kEqual
-                     ? MakeEqualWorkload(graph, truth, options)
-                     : MakeRandomWorkload(graph, truth, options);
-    }
-
-    std::printf("%-16s", spec.name.c_str());
-    std::fflush(stdout);
-    for (const std::string& method : methods) {
-      std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(method);
-      if (oracle == nullptr) {
-        std::printf("%12s", "?");
-        continue;
-      }
-      BuildBudget budget;
-      budget.max_seconds = config.build_time_budget_seconds;
-      budget.max_index_integers = config.build_index_budget_integers;
-      oracle->set_budget(budget);
-
-      Timer build_timer;
-      const Status status = oracle->Build(graph);
-      const double build_ms = build_timer.ElapsedMillis();
-      if (!status.ok()) {
-        std::printf("%12s", "--");
-        std::fflush(stdout);
-        continue;
-      }
-
-      switch (metric) {
-        case Metric::kConstructionMillis:
-          std::printf("%12.1f", build_ms);
-          break;
-        case Metric::kIndexIntegers:
-          std::printf("%12llu", static_cast<unsigned long long>(
-                                    oracle->IndexSizeIntegers()));
-          break;
-        case Metric::kQueryMillis: {
-          Timer query_timer;
-          size_t hits = 0;
-          for (const Query& q : workload.queries) {
-            hits += oracle->Reachable(q.from, q.to);
-          }
-          const double ms = query_timer.ElapsedMillis() * 100000.0 /
-                            static_cast<double>(workload.queries.size());
-          // Guard against dead-code elimination of the query loop.
-          if (hits == SIZE_MAX) std::printf("!");
-          std::printf("%12.1f", ms);
-          break;
-        }
-      }
-      std::fflush(stdout);
-    }
-    std::printf("\n");
+  if (overrides->help) {
+    std::printf("%s", kAblationUsage);
+    *exit_code = 0;
+    return std::nullopt;
   }
-  std::printf("\n");
+  if (!overrides->datasets.empty() || !overrides->methods.empty() ||
+      overrides->budget_seconds.has_value() || overrides->format != "text" ||
+      !overrides->out_path.empty()) {
+    std::fprintf(stderr,
+                 "ablation benches accept only --quick and --queries=\n%s",
+                 kAblationUsage);
+    *exit_code = 2;
+    return std::nullopt;
+  }
+  return ApplyOverrides(SmallTableDefaults(), *overrides);
 }
 
-void RunDatasetInventory(const std::vector<DatasetSpec>& small,
-                         const std::vector<DatasetSpec>& large,
-                         const BenchConfig& config) {
-  std::printf("== Table 1: real datasets (synthetic stand-ins) ==\n");
-  std::printf(
-      "paper_shape: 14 small graphs at original scale; 13 large graphs "
-      "scaled down per DESIGN.md 3.1\n\n");
-  std::printf("%-16s %6s %12s %12s %12s %12s %-14s\n", "dataset", "scale",
-              "paper |V|", "paper |E|", "ours |V|", "ours |E|", "family");
-  PrintRule(92);
-  auto print_group = [&](const std::vector<DatasetSpec>& specs) {
-    for (const DatasetSpec& spec : FilterDatasets(specs, config)) {
-      const Digraph g = MakeDataset(spec);
-      std::printf("%-16s %6.3f %12zu %12zu %12zu %12zu %-14s\n",
-                  spec.name.c_str(), spec.scale, spec.paper_vertices,
-                  spec.paper_edges, g.num_vertices(), g.num_edges(),
-                  GraphFamilyName(spec.family).c_str());
-    }
-  };
-  print_group(small);
-  PrintRule(92);
-  print_group(large);
-  std::printf("\n");
+std::string UsageString(bool allow_experiments) {
+  std::string usage =
+      "flags:\n"
+      "  --quick              smoke mode (few queries, tight budgets)\n"
+      "  --queries=N          queries per workload (positive integer)\n"
+      "  --datasets=a,b,c     restrict to named datasets\n"
+      "  --methods=DL,HL      restrict to named methods\n"
+      "  --budget-seconds=S   build time budget (0 = unlimited)\n"
+      "  --format=FMT         text (default), csv, or json\n"
+      "  --out=PATH           write the report to PATH instead of stdout\n";
+  if (allow_experiments) {
+    usage +=
+        "  --experiments=a,b    restrict to named experiments (default: "
+        "all)\n  known experiments: " +
+        JoinNames(ExperimentIds()) + "\n";
+  }
+  usage += "  known datasets: " + JoinNames(KnownDatasetNames()) +
+           "\n  known methods: " + JoinNames(AllOracleNames()) + "\n";
+  return usage;
 }
 
 }  // namespace bench

@@ -1,0 +1,168 @@
+// Result presentation for the benchmark harness, split from result
+// production (bench/experiments.h). Every measured table cell flows
+// through one RunRecord; pluggable reporters render the stream as the
+// paper's human-readable text tables, as CSV rows, or as a single JSON
+// document suitable for diffing runs across PRs.
+
+#ifndef REACH_BENCH_REPORTER_H_
+#define REACH_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "bench/harness.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace reach {
+namespace bench {
+
+/// One (dataset, method) cell of one experiment.
+struct RunRecord {
+  std::string dataset;
+  std::string method;
+  std::string metric;  // MetricName() of the experiment's metric.
+  double value = 0;    // Meaningful only when ok.
+  bool ok = false;
+  bool budget_exceeded = false;  // The paper's "--" (did-not-finish) cell.
+  std::string note;              // Failure reason / diagnostics; may be "".
+  // Construction statistics (from ReachabilityOracle::build_stats()),
+  // populated for every cell regardless of the experiment's metric.
+  double build_ms = 0;
+  uint64_t index_integers = 0;
+  uint64_t index_bytes = 0;
+};
+
+/// One row of the Table 1 dataset inventory.
+struct DatasetInfo {
+  std::string name;
+  bool large = false;  // Table 1 left (small) vs right (large) group.
+  std::string family;
+  double scale = 1.0;
+  size_t paper_vertices = 0;
+  size_t paper_edges = 0;
+  size_t vertices = 0;  // Our synthetic stand-in's actual size.
+  size_t edges = 0;
+};
+
+/// Consumes the record stream of one run (one or more experiments).
+/// Call order: BeginExperiment, then AddRecord/AddDatasetInfo/DatasetError
+/// for that experiment, EndExperiment; repeat; EndRun exactly once.
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+
+  /// `methods` is the column order; empty for the dataset inventory.
+  virtual void BeginExperiment(const ExperimentSpec& spec,
+                               const std::vector<std::string>& methods,
+                               const BenchConfig& config) = 0;
+  virtual void AddRecord(const RunRecord& record) = 0;
+  virtual void AddDatasetInfo(const DatasetInfo& info) = 0;
+  /// Row-level failure: the workload ground truth could not be built.
+  virtual void DatasetError(const std::string& dataset,
+                            const std::string& error) = 0;
+  virtual void EndExperiment() = 0;
+  /// Flushes buffered output (CSV/JSON build the document in memory).
+  virtual void EndRun() = 0;
+};
+
+/// Streams the paper-style text tables as cells are measured.
+class TextTableReporter : public Reporter {
+ public:
+  /// Writes to `out` (not owned; typically stdout).
+  explicit TextTableReporter(std::FILE* out) : out_(out) {}
+
+  void BeginExperiment(const ExperimentSpec& spec,
+                       const std::vector<std::string>& methods,
+                       const BenchConfig& config) override;
+  void AddRecord(const RunRecord& record) override;
+  void AddDatasetInfo(const DatasetInfo& info) override;
+  void DatasetError(const std::string& dataset,
+                    const std::string& error) override;
+  void EndExperiment() override;
+  void EndRun() override;
+
+ private:
+  void EndOpenRow();
+
+  std::FILE* out_;
+  Metric metric_ = Metric::kQueryMillis;
+  std::string open_row_dataset_;  // Empty = no row in progress.
+  size_t inventory_rows_ = 0;     // Small/large separator bookkeeping.
+  bool inventory_rule_printed_ = false;
+};
+
+/// Accumulates one CSV document: a header plus one row per record.
+class CsvReporter : public Reporter {
+ public:
+  explicit CsvReporter(std::FILE* out) : out_(out) {}
+
+  void BeginExperiment(const ExperimentSpec& spec,
+                       const std::vector<std::string>& methods,
+                       const BenchConfig& config) override;
+  void AddRecord(const RunRecord& record) override;
+  void AddDatasetInfo(const DatasetInfo& info) override;
+  void DatasetError(const std::string& dataset,
+                    const std::string& error) override;
+  void EndExperiment() override {}
+  void EndRun() override;
+
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  void Row(const std::string& dataset, const std::string& method,
+           const std::string& metric, const std::string& value,
+           bool budget_exceeded, const RunRecord* stats,
+           const std::string& tier, const std::string& note);
+
+  std::FILE* out_;
+  std::string experiment_id_;
+  std::string experiment_tier_;  // "small"/"large"; empty for the inventory.
+  std::string buffer_;
+};
+
+/// Accumulates the whole run as a single JSON document:
+///   {"schema_version": 1, "experiments": [{..., "records": [...]}]}
+/// Records are staged per experiment and serialized at EndExperiment so
+/// that dataset errors (which interleave with records) land in their own
+/// "dataset_errors" array.
+class JsonReporter : public Reporter {
+ public:
+  explicit JsonReporter(std::FILE* out);
+
+  void BeginExperiment(const ExperimentSpec& spec,
+                       const std::vector<std::string>& methods,
+                       const BenchConfig& config) override;
+  void AddRecord(const RunRecord& record) override;
+  void AddDatasetInfo(const DatasetInfo& info) override;
+  void DatasetError(const std::string& dataset,
+                    const std::string& error) override;
+  void EndExperiment() override;
+  void EndRun() override;
+
+ private:
+  std::FILE* out_;
+  std::string buffer_;
+  JsonWriter writer_;
+  // Current-experiment staging.
+  ExperimentSpec spec_;
+  std::vector<std::string> methods_;
+  BenchConfig config_;
+  std::vector<RunRecord> records_;
+  std::vector<DatasetInfo> infos_;
+  std::vector<std::pair<std::string, std::string>> errors_;
+};
+
+/// Builds the reporter selected by config.format, writing to config.out_path
+/// (or stdout when empty). Fails with IOError if the path cannot be opened.
+/// The reporter owns the opened file and closes it in EndRun.
+StatusOr<std::unique_ptr<Reporter>> MakeReporter(const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace reach
+
+#endif  // REACH_BENCH_REPORTER_H_

@@ -7,7 +7,7 @@
 
 namespace reach {
 
-Status ChainOracle::Build(const Digraph& dag) {
+Status ChainOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "ChainOracle"));
   Timer timer;
   const size_t n = dag.num_vertices();

@@ -18,8 +18,10 @@ namespace reach {
 
 /// Chain-compressed transitive closure ("PT" column in the tables).
 class ChainOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
 
   bool Reachable(Vertex u, Vertex v) const override;
 

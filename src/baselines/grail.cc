@@ -72,7 +72,7 @@ void RandomIntervalPass(const Digraph& g, Rng* rng, std::vector<uint32_t>* lo,
 
 }  // namespace
 
-Status GrailOracle::Build(const Digraph& dag) {
+Status GrailOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "GrailOracle"));
   graph_ = dag;
   lo_.resize(options_.num_labelings);

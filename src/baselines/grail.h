@@ -28,7 +28,10 @@ class GrailOracle : public ReachabilityOracle {
  public:
   explicit GrailOracle(GrailOptions options = {}) : options_(options) {}
 
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override { return "GL"; }

@@ -52,7 +52,7 @@ std::vector<uint32_t> DfsPostOrderNumbers(const Digraph& g) {
 
 }  // namespace
 
-Status IntervalOracle::Build(const Digraph& dag) {
+Status IntervalOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "IntervalOracle"));
   Timer timer;
   const size_t n = dag.num_vertices();

@@ -19,8 +19,10 @@ namespace reach {
 
 /// Interval-compressed transitive closure.
 class IntervalOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || closure_[u].Contains(number_[v]);

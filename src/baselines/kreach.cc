@@ -8,7 +8,7 @@
 
 namespace reach {
 
-Status KReachOracle::Build(const Digraph& dag) {
+Status KReachOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "KReachOracle"));
   Timer timer;
   graph_ = dag;

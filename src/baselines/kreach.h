@@ -19,8 +19,10 @@ namespace reach {
 
 /// Vertex-cover based reachability index ("KR" table column).
 class KReachOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override { return "KR"; }

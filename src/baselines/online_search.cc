@@ -2,7 +2,7 @@
 
 namespace reach {
 
-Status OnlineSearchOracle::Build(const Digraph& dag) {
+Status OnlineSearchOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "OnlineSearchOracle"));
   graph_ = dag;
   fwd_mark_.assign(dag.num_vertices(), 0);

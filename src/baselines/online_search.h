@@ -24,7 +24,10 @@ class OnlineSearchOracle : public ReachabilityOracle {
   explicit OnlineSearchOracle(SearchKind kind = SearchKind::kBfs)
       : kind_(kind) {}
 
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override {

@@ -29,7 +29,7 @@ uint32_t PrunedLandmarkOracle::Distance(Vertex u, Vertex v) const {
   return best;
 }
 
-Status PrunedLandmarkOracle::Build(const Digraph& dag) {
+Status PrunedLandmarkOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(
       internal::ValidateDagInput(dag, "PrunedLandmarkOracle"));
   Timer timer;

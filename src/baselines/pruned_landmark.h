@@ -20,8 +20,10 @@ namespace reach {
 
 /// Directed pruned-landmark distance labeling used as a reachability oracle.
 class PrunedLandmarkOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || Distance(u, v) != kUnreachable;

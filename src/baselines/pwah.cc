@@ -344,7 +344,7 @@ bool PwahBitset::Test(uint32_t bit) const {
   return false;  // Beyond the encoded stream: trailing zeros.
 }
 
-Status PwahOracle::Build(const Digraph& dag) {
+Status PwahOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "PwahOracle"));
   Timer timer;
   const size_t n = dag.num_vertices();

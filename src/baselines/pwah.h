@@ -54,8 +54,10 @@ class PwahBitset {
 
 /// PWAH-compressed transitive closure oracle (the "PW8" table column).
 class PwahOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || rows_[u].Test(number_[v]);

@@ -4,7 +4,7 @@
 
 namespace reach {
 
-Status ScarabOracle::Build(const Digraph& dag) {
+Status ScarabOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "ScarabOracle"));
   graph_ = dag;
   const size_t n = dag.num_vertices();

@@ -33,7 +33,10 @@ class ScarabOracle : public ReachabilityOracle {
         inner_factory_(std::move(inner_factory)),
         backbone_options_(backbone_options) {}
 
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override { return display_name_; }

@@ -21,7 +21,7 @@ struct Candidate {
 
 }  // namespace
 
-Status TwoHopOracle::Build(const Digraph& dag) {
+Status TwoHopOracle::BuildIndex(const Digraph& dag) {
   REACH_RETURN_IF_ERROR(internal::ValidateDagInput(dag, "TwoHopOracle"));
   Timer timer;
   const size_t n = dag.num_vertices();

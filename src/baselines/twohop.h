@@ -23,8 +23,10 @@ namespace reach {
 
 /// Set-cover based 2-hop labeling ("2HOP" table column).
 class TwoHopOracle : public ReachabilityOracle {
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
  public:
-  Status Build(const Digraph& dag) override;
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);

@@ -115,7 +115,7 @@ void DistributeLabels(const Digraph& g, const std::vector<Vertex>& order,
   }
 }
 
-Status DistributionLabelingOracle::Build(const Digraph& dag) {
+Status DistributionLabelingOracle::BuildIndex(const Digraph& dag) {
   if (!IsDag(dag)) {
     return Status::InvalidArgument("DistributionLabeling requires a DAG");
   }

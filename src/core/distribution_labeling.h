@@ -62,7 +62,10 @@ class DistributionLabelingOracle : public ReachabilityOracle {
   explicit DistributionLabelingOracle(DistributionOptions options = {})
       : options_(options) {}
 
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);

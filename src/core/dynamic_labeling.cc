@@ -6,7 +6,7 @@
 
 namespace reach {
 
-Status DynamicDistributionLabeling::Build(const Digraph& dag) {
+Status DynamicDistributionLabeling::BuildIndex(const Digraph& dag) {
   if (!IsDag(dag)) {
     return Status::InvalidArgument("DynamicDistributionLabeling needs a DAG");
   }

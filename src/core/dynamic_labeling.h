@@ -41,7 +41,10 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
       : options_(options) {}
 
   /// Builds the initial labeling (identical to DistributionLabelingOracle).
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);

@@ -61,7 +61,7 @@ bool CoreDiameterWithin(const Digraph& core,
 
 }  // namespace
 
-Status HierarchicalLabelingOracle::Build(const Digraph& dag) {
+Status HierarchicalLabelingOracle::BuildIndex(const Digraph& dag) {
   Timer timer;
   auto hierarchy = Hierarchy::Build(dag, options_.hierarchy);
   if (!hierarchy.ok()) return hierarchy.status();

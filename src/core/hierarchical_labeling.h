@@ -51,7 +51,10 @@ class HierarchicalLabelingOracle : public ReachabilityOracle {
     return options;
   }
 
-  Status Build(const Digraph& dag) override;
+ protected:
+  Status BuildIndex(const Digraph& dag) override;
+
+ public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);

@@ -1,12 +1,25 @@
 #include "core/oracle.h"
 
 #include "graph/topology.h"
+#include "util/timer.h"
 
 namespace reach {
 
-// The interface is header-only; this translation unit anchors the vtable so
-// that RTTI/typeinfo for ReachabilityOracle lands in one object file.
-// (See Google style: prefer a single home for a class's key function.)
+Status ReachabilityOracle::Build(const Digraph& dag) {
+  Timer timer;
+  const Status status = BuildIndex(dag);
+  build_stats_ = BuildStats();
+  build_stats_.build_millis = timer.ElapsedMillis();
+  build_stats_.ok = status.ok();
+  if (status.ok()) {
+    build_stats_.index_integers = IndexSizeIntegers();
+    build_stats_.index_bytes = IndexSizeBytes();
+  } else {
+    build_stats_.budget_exceeded = status.IsResourceExhausted();
+    build_stats_.failure_reason = status.message();
+  }
+  return status;
+}
 
 namespace internal {
 

@@ -27,6 +27,19 @@ struct BuildBudget {
   }
 };
 
+/// Outcome of the last Build() call, recorded by the base class so that
+/// consumers (the bench harness, the CLI's --stats) read construction wall
+/// time, index size, and the budget-exceeded reason from one place instead
+/// of re-deriving them with ad-hoc timers per call site.
+struct BuildStats {
+  double build_millis = 0;
+  uint64_t index_integers = 0;  // Valid only after an OK build.
+  uint64_t index_bytes = 0;     // Valid only after an OK build.
+  bool ok = false;
+  bool budget_exceeded = false;  // Build returned ResourceExhausted.
+  std::string failure_reason;    // Status message when !ok, else empty.
+};
+
 /// A reachability oracle over a DAG: after Build, Reachable(u, v) answers
 /// whether u reaches v (reflexively: Reachable(v, v) is true).
 class ReachabilityOracle {
@@ -36,7 +49,9 @@ class ReachabilityOracle {
   /// Builds the index for `dag`, which must be acyclic. Returns
   /// InvalidArgument on cyclic input and ResourceExhausted when the
   /// budget is exceeded. An oracle must be built exactly once.
-  virtual Status Build(const Digraph& dag) = 0;
+  /// Non-virtual: times the method-specific BuildIndex() and records
+  /// build_stats().
+  Status Build(const Digraph& dag);
 
   /// True iff u reaches v. Only valid after a successful Build.
   virtual bool Reachable(Vertex u, Vertex v) const = 0;
@@ -50,11 +65,18 @@ class ReachabilityOracle {
   /// Approximate index heap footprint in bytes.
   virtual uint64_t IndexSizeBytes() const = 0;
 
+  /// Statistics of the last Build() call (zero-initialized before it).
+  const BuildStats& build_stats() const { return build_stats_; }
+
   void set_budget(const BuildBudget& budget) { budget_ = budget; }
   const BuildBudget& budget() const { return budget_; }
 
  protected:
+  /// Method-specific construction; invoked exactly once by Build().
+  virtual Status BuildIndex(const Digraph& dag) = 0;
+
   BuildBudget budget_;
+  BuildStats build_stats_;
 };
 
 namespace internal {

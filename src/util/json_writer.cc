@@ -1,0 +1,162 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace reach {
+
+void JsonEscape(std::string_view v, std::string* out) {
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  sink_->push_back('\n');
+  sink_->append(indent_ * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeItem() {
+  assert(!pending_key_ && "key already pending");
+  if (stack_.empty()) {
+    assert(!wrote_top_level_ && "second top-level value");
+    return;
+  }
+  if (scope_has_items_.back()) sink_->push_back(',');
+  scope_has_items_.back() = true;
+  NewlineIndent();
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  assert((stack_.empty() || stack_.back() == Scope::kArray) &&
+         "object member requires Key() first");
+  BeforeItem();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  sink_->push_back('{');
+  stack_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  sink_->push_back('}');
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  sink_->push_back('[');
+  stack_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  sink_->push_back(']');
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject &&
+         "Key() outside an object");
+  BeforeItem();
+  sink_->push_back('"');
+  JsonEscape(key, sink_);
+  sink_->append(indent_ > 0 ? "\": " : "\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  sink_->push_back('"');
+  JsonEscape(value, sink_);
+  sink_->push_back('"');
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  sink_->append(std::to_string(value));
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  sink_->append(std::to_string(value));
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  sink_->append(JsonNumber(value));
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  sink_->append(value ? "true" : "false");
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  sink_->append("null");
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+}  // namespace reach

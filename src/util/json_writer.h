@@ -1,0 +1,86 @@
+// Minimal streaming JSON writer for machine-readable bench/tool output.
+// Emits pretty-printed UTF-8 JSON into a caller-owned string; handles
+// comma placement, nesting, string escaping, and number formatting.
+// Invalid call sequences (value where a key is required, unbalanced
+// End...) are caught by assertions in debug builds.
+
+#ifndef REACH_UTIL_JSON_WRITER_H_
+#define REACH_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reach {
+
+/// Appends `v` escaped per RFC 8259 (quotes, backslash, control chars) to
+/// `out`, without surrounding quotes.
+void JsonEscape(std::string_view v, std::string* out);
+
+/// Formats a double the way the writer does: shortest round-trip decimal;
+/// NaN/Inf (not representable in JSON) become "null".
+std::string JsonNumber(double value);
+
+class JsonWriter {
+ public:
+  /// Writes into `*sink` (not owned). `indent` spaces per nesting level.
+  explicit JsonWriter(std::string* sink, int indent = 2)
+      : sink_(sink), indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; must be followed by exactly one value or Begin*.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key(k) + the matching value, for one-liners.
+  void KeyString(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KeyUint(std::string_view key, uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void KeyDouble(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KeyBool(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// True once every Begin* has been matched and a top-level value written.
+  bool Complete() const { return stack_.empty() && wrote_top_level_; }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  // Comma/newline/indent bookkeeping before a key (in objects) or a value
+  // (in arrays / at top level).
+  void BeforeItem();
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::string* sink_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> scope_has_items_;
+  bool pending_key_ = false;
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_JSON_WRITER_H_

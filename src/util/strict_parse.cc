@@ -1,0 +1,21 @@
+#include "util/strict_parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace reach {
+
+bool ParseDecimalUint64(const std::string& text, uint64_t* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace reach

@@ -1,0 +1,21 @@
+// Strict decimal parsing for untrusted command-line tokens. strtoull alone
+// is too lax for flag validation: it skips leading whitespace, negates
+// signed input, accepts hex/octal prefixes, and saturates on overflow —
+// all of which turn a typo into a silently different number.
+
+#ifndef REACH_UTIL_STRICT_PARSE_H_
+#define REACH_UTIL_STRICT_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reach {
+
+/// Parses `text` as a base-10 unsigned integer: digits only (no sign,
+/// whitespace, or base prefix), the whole string, no overflow. Returns
+/// false without touching `*out` on any violation.
+bool ParseDecimalUint64(const std::string& text, uint64_t* out);
+
+}  // namespace reach
+
+#endif  // REACH_UTIL_STRICT_PARSE_H_

@@ -1,0 +1,125 @@
+// Registry coverage: every paper table/figure is registered exactly once,
+// lookups resolve, and the per-experiment defaults match the tier (plus
+// Table 4's bigger construction budget).
+
+#include "bench/experiments.h"
+
+#include <map>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace bench {
+namespace {
+
+TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
+  std::map<std::string, int> counts;
+  for (const ExperimentSpec& spec : ExperimentRegistry()) {
+    ++counts[spec.id];
+  }
+  const char* expected[] = {"table1", "table2", "table3", "table4", "table5",
+                            "table6", "table7", "fig3",   "fig4"};
+  EXPECT_EQ(counts.size(), 9u);
+  for (const char* id : expected) {
+    EXPECT_EQ(counts[id], 1) << id;
+  }
+}
+
+TEST(ExperimentRegistryTest, IdsInPaperOrder) {
+  EXPECT_EQ(ExperimentIds(),
+            (std::vector<std::string>{"table1", "table2", "table3", "table4",
+                                      "table5", "table6", "table7", "fig3",
+                                      "fig4"}));
+}
+
+TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
+  const auto spec = FindExperiment("table5");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->id, "table5");
+  EXPECT_TRUE(spec->large);
+  EXPECT_EQ(spec->metric, Metric::kQueryMillis);
+  EXPECT_EQ(spec->workload, WorkloadKind::kEqual);
+
+  const auto missing = FindExperiment("table9");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_NE(missing.status().message().find("fig3"), std::string::npos);
+}
+
+TEST(ExperimentRegistryTest, SpecShapesAreConsistent) {
+  for (const ExperimentSpec& spec : ExperimentRegistry()) {
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.shape_note.empty()) << spec.id;
+    if (spec.kind == ExperimentKind::kInventory) {
+      continue;
+    }
+    // Query-time experiments need a workload; the others must not have one.
+    if (spec.metric == Metric::kQueryMillis) {
+      EXPECT_NE(spec.workload, WorkloadKind::kNone) << spec.id;
+    } else {
+      EXPECT_EQ(spec.workload, WorkloadKind::kNone) << spec.id;
+    }
+    EXPECT_FALSE(DatasetsFor(spec).empty()) << spec.id;
+  }
+}
+
+TEST(ExperimentRegistryTest, SmallAndLargeTiersBothCovered) {
+  size_t small = 0;
+  size_t large = 0;
+  for (const ExperimentSpec& spec : ExperimentRegistry()) {
+    if (spec.kind != ExperimentKind::kTable) continue;
+    (spec.large ? large : small) += 1;
+  }
+  EXPECT_EQ(small, 4u);  // table2, table3, table4, fig3.
+  EXPECT_EQ(large, 4u);  // table5, table6, table7, fig4.
+}
+
+TEST(DefaultConfigTest, TierDefaultsAndTable4Override) {
+  const auto table2 = FindExperiment("table2");
+  ASSERT_TRUE(table2.ok());
+  const BenchConfig small = DefaultConfigFor(*table2);
+  EXPECT_EQ(small.num_queries, 100000u);
+  EXPECT_DOUBLE_EQ(small.build_time_budget_seconds, 60);
+  EXPECT_EQ(small.build_index_budget_integers, 0u);
+
+  const auto table5 = FindExperiment("table5");
+  ASSERT_TRUE(table5.ok());
+  const BenchConfig large = DefaultConfigFor(*table5);
+  EXPECT_EQ(large.num_queries, 10000u);
+  EXPECT_DOUBLE_EQ(large.build_time_budget_seconds, 25);
+  EXPECT_EQ(large.build_index_budget_integers, 150000000u);
+
+  // The paper's own Table 4 reports a 131.9 s 2HOP build; the registry keeps
+  // the construction table's larger budget.
+  const auto table4 = FindExperiment("table4");
+  ASSERT_TRUE(table4.ok());
+  EXPECT_DOUBLE_EQ(DefaultConfigFor(*table4).build_time_budget_seconds, 200);
+}
+
+TEST(ExperimentRegistryTest, CoversDatasetRespectsTier) {
+  const auto table2 = FindExperiment("table2");
+  const auto table5 = FindExperiment("table5");
+  const auto table1 = FindExperiment("table1");
+  ASSERT_TRUE(table2.ok() && table5.ok() && table1.ok());
+  EXPECT_TRUE(ExperimentCoversDataset(*table2, "arxiv"));
+  EXPECT_FALSE(ExperimentCoversDataset(*table2, "wiki"));
+  EXPECT_TRUE(ExperimentCoversDataset(*table5, "wiki"));
+  EXPECT_FALSE(ExperimentCoversDataset(*table5, "arxiv"));
+  // The inventory spans both tiers.
+  EXPECT_TRUE(ExperimentCoversDataset(*table1, "arxiv"));
+  EXPECT_TRUE(ExperimentCoversDataset(*table1, "wiki"));
+}
+
+TEST(DefaultConfigTest, DatasetsMatchTier) {
+  for (const ExperimentSpec& spec : ExperimentRegistry()) {
+    if (spec.kind != ExperimentKind::kTable) continue;
+    for (const DatasetSpec& dataset : DatasetsFor(spec)) {
+      EXPECT_EQ(dataset.large, spec.large) << spec.id << "/" << dataset.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reach

@@ -1,0 +1,598 @@
+// Reporter round-trip coverage: the JSON reporter's output parses with a
+// strict little JSON reader and survives hostile strings; the CSV reporter
+// escapes correctly; budget-exceeded ("--") cells are encoded explicitly in
+// both; and a real RunExperiment feeds the same pipeline end to end.
+
+#include "bench/reporter.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.h"
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader (only what the reporter emits).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue kMissing;
+    const auto it = members.find(key);
+    return it == members.end() ? kMissing : it->second;
+  }
+  bool has(const std::string& key) const { return members.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return p_ == end_;  // Trailing garbage = not a single document.
+  }
+
+ private:
+  void SkipSpace() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* word) {
+    for (const char* w = word; *w; ++w) {
+      if (p_ == end_ || *p_ != *w) return false;
+      ++p_;
+    }
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            const std::string hex(p_ + 1, p_ + 5);
+            char* hex_end = nullptr;
+            const long code = std::strtol(hex.c_str(), &hex_end, 16);
+            if (hex_end != hex.c_str() + 4 || code > 0x7f) return false;
+            out->push_back(static_cast<char>(code));
+            p_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++p_;
+      } else {
+        out->push_back(*p_++);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->type = JsonValue::kNumber;
+    char* num_end = nullptr;
+    out->number = std::strtod(p_, &num_end);
+    if (num_end == p_) return false;
+    p_ = num_end;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers: capture reporter output in memory, fabricate experiment cells.
+// ---------------------------------------------------------------------------
+
+/// Runs `feed` against a reporter of the given format writing to a memory
+/// stream and returns the bytes written.
+template <typename Fn>
+std::string Capture(const std::string& format, Fn feed) {
+  char* data = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&data, &size);
+  EXPECT_NE(stream, nullptr);
+  {
+    std::unique_ptr<Reporter> reporter;
+    if (format == "csv") {
+      reporter = std::make_unique<CsvReporter>(stream);
+    } else if (format == "json") {
+      reporter = std::make_unique<JsonReporter>(stream);
+    } else {
+      reporter = std::make_unique<TextTableReporter>(stream);
+    }
+    feed(reporter.get());
+  }
+  std::fclose(stream);
+  std::string out(data, size);
+  std::free(data);
+  return out;
+}
+
+ExperimentSpec TestSpec() {
+  ExperimentSpec spec;
+  spec.id = "table2";
+  spec.title = "Test \"table\"";  // Needs escaping in JSON.
+  spec.shape_note = "note";
+  spec.kind = ExperimentKind::kTable;
+  spec.metric = Metric::kQueryMillis;
+  spec.workload = WorkloadKind::kEqual;
+  return spec;
+}
+
+RunRecord OkRecord() {
+  RunRecord r;
+  r.dataset = "arxiv";
+  r.method = "DL";
+  r.metric = "query_ms_per_100k";
+  r.value = 12.5;
+  r.ok = true;
+  r.build_ms = 3.25;
+  r.index_integers = 1000;
+  r.index_bytes = 4000;
+  return r;
+}
+
+RunRecord BudgetExceededRecord() {
+  RunRecord r;
+  r.dataset = "arxiv";
+  r.method = "2HOP";
+  r.metric = "query_ms_per_100k";
+  r.ok = false;
+  r.budget_exceeded = true;
+  r.note = "2HOP set-cover over time budget";
+  r.build_ms = 5001;
+  return r;
+}
+
+void FeedOneExperiment(Reporter* reporter) {
+  BenchConfig config = SmallTableDefaults();
+  config.num_queries = 2000;
+  reporter->BeginExperiment(TestSpec(), {"DL", "2HOP"}, config);
+  reporter->AddRecord(OkRecord());
+  reporter->AddRecord(BudgetExceededRecord());
+  reporter->DatasetError("broken,\"set\"", "workload truth build failed");
+  reporter->EndExperiment();
+  reporter->EndRun();
+}
+
+// ---------------------------------------------------------------------------
+// JSON reporter
+// ---------------------------------------------------------------------------
+
+TEST(JsonReporterTest, OutputParsesAsSingleDocument) {
+  const std::string out = Capture("json", FeedOneExperiment);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  ASSERT_EQ(doc.type, JsonValue::kObject);
+  EXPECT_EQ(doc.at("schema_version").number, 1);
+  ASSERT_EQ(doc.at("experiments").type, JsonValue::kArray);
+  ASSERT_EQ(doc.at("experiments").items.size(), 1u);
+
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  EXPECT_EQ(experiment.at("id").str, "table2");
+  EXPECT_EQ(experiment.at("title").str, "Test \"table\"");  // Round-trips.
+  EXPECT_EQ(experiment.at("metric").str, "query_ms_per_100k");
+  EXPECT_EQ(experiment.at("workload").str, "equal");
+  EXPECT_EQ(experiment.at("num_queries").number, 2000);
+  ASSERT_EQ(experiment.at("methods").items.size(), 2u);
+  EXPECT_EQ(experiment.at("methods").items[0].str, "DL");
+}
+
+TEST(JsonReporterTest, RecordsCarryPerCellFieldsAndExplicitDnf) {
+  const std::string out = Capture("json", FeedOneExperiment);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc));
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  ASSERT_EQ(experiment.at("records").items.size(), 2u);
+
+  const JsonValue& ok = experiment.at("records").items[0];
+  EXPECT_EQ(ok.at("dataset").str, "arxiv");
+  EXPECT_EQ(ok.at("method").str, "DL");
+  EXPECT_EQ(ok.at("metric").str, "query_ms_per_100k");
+  EXPECT_EQ(ok.at("value").number, 12.5);
+  EXPECT_EQ(ok.at("build_ms").number, 3.25);
+  EXPECT_EQ(ok.at("index_integers").number, 1000);
+  EXPECT_EQ(ok.at("index_bytes").number, 4000);
+  EXPECT_FALSE(ok.at("budget_exceeded").boolean);
+
+  // The "--" cell: value is null (not 0, not absent), budget_exceeded is
+  // true, and the oracle's reason is preserved.
+  const JsonValue& dnf = experiment.at("records").items[1];
+  ASSERT_TRUE(dnf.has("value"));
+  EXPECT_EQ(dnf.at("value").type, JsonValue::kNull);
+  EXPECT_TRUE(dnf.at("budget_exceeded").boolean);
+  EXPECT_EQ(dnf.at("note").str, "2HOP set-cover over time budget");
+}
+
+TEST(JsonReporterTest, DatasetErrorsLandInTheirOwnArray) {
+  const std::string out = Capture("json", FeedOneExperiment);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc));
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  ASSERT_EQ(experiment.at("dataset_errors").items.size(), 1u);
+  EXPECT_EQ(experiment.at("dataset_errors").items[0].at("dataset").str,
+            "broken,\"set\"");
+}
+
+TEST(JsonReporterTest, EmptyRunIsStillValidJson) {
+  const std::string out = Capture("json", [](Reporter* r) { r->EndRun(); });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  EXPECT_EQ(doc.at("experiments").items.size(), 0u);
+}
+
+TEST(JsonReporterTest, InventoryExperimentEmitsDatasetObjects) {
+  const std::string out = Capture("json", [](Reporter* reporter) {
+    ExperimentSpec spec;
+    spec.id = "table1";
+    spec.title = "Table 1";
+    spec.kind = ExperimentKind::kInventory;
+    reporter->BeginExperiment(spec, {}, SmallTableDefaults());
+    DatasetInfo info;
+    info.name = "arxiv";
+    info.family = "citation";
+    info.scale = 1.0;
+    info.paper_vertices = 21608;
+    info.paper_edges = 116805;
+    info.vertices = 21608;
+    info.edges = 115315;
+    reporter->AddDatasetInfo(info);
+    reporter->EndExperiment();
+    reporter->EndRun();
+  });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  EXPECT_EQ(experiment.at("kind").str, "inventory");
+  ASSERT_EQ(experiment.at("datasets").items.size(), 1u);
+  const JsonValue& dataset = experiment.at("datasets").items[0];
+  EXPECT_EQ(dataset.at("dataset").str, "arxiv");
+  EXPECT_EQ(dataset.at("family").str, "citation");
+  EXPECT_EQ(dataset.at("paper_edges").number, 116805);
+  EXPECT_EQ(dataset.at("vertices").number, 21608);
+}
+
+// ---------------------------------------------------------------------------
+// CSV reporter
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+TEST(CsvReporterTest, HeaderPlusOneRowPerRecord) {
+  const std::string out = Capture("csv", FeedOneExperiment);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 4u);  // header + ok + dnf + dataset error.
+  EXPECT_EQ(lines[0],
+            "experiment,dataset,method,metric,value,budget_exceeded,"
+            "build_ms,index_integers,index_bytes,tier,note");
+  EXPECT_EQ(lines[1],
+            "table2,arxiv,DL,query_ms_per_100k,12.5,false,3.25,1000,4000,"
+            "small,");
+}
+
+TEST(CsvReporterTest, DnfCellHasEmptyValueAndTrueFlag) {
+  const std::string out = Capture("csv", FeedOneExperiment);
+  const std::vector<std::string> lines = SplitLines(out);
+  EXPECT_EQ(lines[2],
+            "table2,arxiv,2HOP,query_ms_per_100k,,true,5001,0,0,small,"
+            "2HOP set-cover over time budget");
+}
+
+TEST(CsvReporterTest, FieldsWithCommasAndQuotesAreEscaped) {
+  const std::string out = Capture("csv", FeedOneExperiment);
+  const std::vector<std::string> lines = SplitLines(out);
+  // RFC 4180: the whole field quoted, inner quotes doubled.
+  EXPECT_EQ(lines[3],
+            "table2,\"broken,\"\"set\"\"\",,error,,false,,,,small,"
+            "workload truth build failed");
+}
+
+TEST(CsvReporterTest, EscapeFieldRules) {
+  EXPECT_EQ(CsvReporter::EscapeField("plain"), "plain");
+  EXPECT_EQ(CsvReporter::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvReporter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvReporter::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+// ---------------------------------------------------------------------------
+// Text reporter (spot checks; byte-level shape is covered by eyeballing the
+// legacy binaries, which share this code path).
+// ---------------------------------------------------------------------------
+
+TEST(TextTableReporterTest, PrintsCaptionHeaderAndDnfDashes) {
+  const std::string out = Capture("text", FeedOneExperiment);
+  EXPECT_NE(out.find("== Test \"table\" =="), std::string::npos);
+  EXPECT_NE(out.find("paper_shape: note"), std::string::npos);
+  EXPECT_NE(out.find("dataset"), std::string::npos);
+  EXPECT_NE(out.find("          --"), std::string::npos);  // %12s cell.
+  EXPECT_NE(out.find("<workload truth build failed>"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a real experiment through the registry into JSON.
+// ---------------------------------------------------------------------------
+
+TEST(ReporterEndToEndTest, Fig3OnOneDatasetRoundTrips) {
+  const auto spec = FindExperiment("fig3");
+  ASSERT_TRUE(spec.ok());
+  BenchConfig config = DefaultConfigFor(*spec);
+  config.datasets = {"amaze"};
+  config.methods = {"DL", "BFS"};
+
+  const std::string out = Capture("json", [&](Reporter* reporter) {
+    RunExperiment(*spec, config, reporter);
+    reporter->EndRun();
+  });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  ASSERT_EQ(experiment.at("records").items.size(), 2u);
+  for (const JsonValue& record : experiment.at("records").items) {
+    EXPECT_EQ(record.at("dataset").str, "amaze");
+    EXPECT_EQ(record.at("metric").str, "index_integers");
+    EXPECT_EQ(record.at("value").type, JsonValue::kNumber);
+    EXPECT_FALSE(record.at("budget_exceeded").boolean);
+    EXPECT_GE(record.at("build_ms").number, 0);
+  }
+  // DL stores a real labeling; BFS stores only the graph adjacency.
+  EXPECT_GT(experiment.at("records").items[0].at("value").number, 0);
+}
+
+TEST(ReporterEndToEndTest, WrongTierDatasetIsFlaggedNotSilent) {
+  // "wiki" is a valid large-tier name; fig3 runs the small tier. The run
+  // must say so instead of printing an empty table with exit 0.
+  const auto spec = FindExperiment("fig3");
+  ASSERT_TRUE(spec.ok());
+  BenchConfig config = DefaultConfigFor(*spec);
+  config.datasets = {"wiki"};
+  config.methods = {"DL"};
+
+  const std::string out = Capture("json", [&](Reporter* reporter) {
+    RunExperiment(*spec, config, reporter);
+    reporter->EndRun();
+  });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  const JsonValue& experiment = doc.at("experiments").items[0];
+  EXPECT_EQ(experiment.at("records").items.size(), 0u);
+  ASSERT_EQ(experiment.at("dataset_errors").items.size(), 1u);
+  EXPECT_EQ(experiment.at("dataset_errors").items[0].at("dataset").str,
+            "wiki");
+}
+
+TEST(ReporterEndToEndTest, RepeatedMethodRunsOnce) {
+  const auto spec = FindExperiment("fig3");
+  ASSERT_TRUE(spec.ok());
+  BenchConfig config = DefaultConfigFor(*spec);
+  config.datasets = {"amaze"};
+  config.methods = {"DL", "DL"};  // A filter is a set.
+
+  const std::string out = Capture("json", [&](Reporter* reporter) {
+    RunExperiment(*spec, config, reporter);
+    reporter->EndRun();
+  });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  EXPECT_EQ(doc.at("experiments").items[0].at("records").items.size(), 1u);
+}
+
+TEST(ReporterEndToEndTest, IndexBudgetProducesExplicitDnfRecord) {
+  const auto spec = FindExperiment("fig3");
+  ASSERT_TRUE(spec.ok());
+  BenchConfig config = DefaultConfigFor(*spec);
+  config.datasets = {"amaze"};
+  config.methods = {"DL"};
+  config.build_index_budget_integers = 10;  // Absurdly small: must trip.
+
+  const std::string out = Capture("json", [&](Reporter* reporter) {
+    RunExperiment(*spec, config, reporter);
+    reporter->EndRun();
+  });
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
+  const JsonValue& record =
+      doc.at("experiments").items[0].at("records").items[0];
+  EXPECT_EQ(record.at("value").type, JsonValue::kNull);
+  EXPECT_TRUE(record.at("budget_exceeded").boolean);
+  EXPECT_NE(record.at("note").str.find("budget"), std::string::npos);
+}
+
+TEST(RunCacheTest, FindBuildIsBudgetScoped) {
+  RunCache cache;
+  BuildBudget budget;
+  budget.max_seconds = 5;
+  BuildStats stats;
+  stats.ok = true;
+  stats.build_millis = 1.25;
+  cache.InsertBuild("arxiv", "DL", budget, stats);
+
+  ASSERT_NE(cache.FindBuild("arxiv", "DL", budget), nullptr);
+  EXPECT_DOUBLE_EQ(cache.FindBuild("arxiv", "DL", budget)->build_millis,
+                   1.25);
+  EXPECT_EQ(cache.FindBuild("arxiv", "HL", budget), nullptr);
+  EXPECT_EQ(cache.FindBuild("amaze", "DL", budget), nullptr);
+  BuildBudget other = budget;
+  other.max_seconds = 200;  // Table 4's bigger budget must not collide.
+  EXPECT_EQ(cache.FindBuild("arxiv", "DL", other), nullptr);
+}
+
+TEST(RunCacheTest, TruthOracleIsBuiltOncePerDataset) {
+  const auto spec = FindDataset("amaze");
+  ASSERT_TRUE(spec.ok());
+  const Digraph graph = MakeDataset(*spec);
+
+  RunCache cache;
+  const ReachabilityOracle* first = cache.TruthOracle("amaze", graph);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->Reachable(0, 0));
+  // Second lookup returns the same object, not a rebuild.
+  EXPECT_EQ(cache.TruthOracle("amaze", graph), first);
+}
+
+TEST(RunCacheTest, StatsOnlyExperimentReusesEarlierBuild) {
+  const auto spec = FindExperiment("fig3");
+  ASSERT_TRUE(spec.ok());
+  BenchConfig config = DefaultConfigFor(*spec);
+  config.datasets = {"amaze"};
+  config.methods = {"DL"};
+
+  RunCache cache;
+  const auto run_once = [&] {
+    const std::string out = Capture("json", [&](Reporter* reporter) {
+      RunExperiment(*spec, config, reporter, &cache);
+      reporter->EndRun();
+    });
+    JsonValue doc;
+    EXPECT_TRUE(JsonParser(out).Parse(&doc));
+    return doc.at("experiments")
+        .items[0]
+        .at("records")
+        .items[0]
+        .at("build_ms")
+        .number;
+  };
+  // Two fresh builds essentially never take the exact same wall time, so
+  // bit-identical build_ms means the second run came from the cache.
+  const double first = run_once();
+  const double second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace reach

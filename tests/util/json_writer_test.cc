@@ -1,0 +1,122 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  std::string out;
+  JsonEscape("hello world_123", &out);
+  EXPECT_EQ(out, "hello world_123");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  JsonEscape("a\"b\\c\nd\te\rf\bg\fh", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh");
+}
+
+TEST(JsonEscapeTest, EscapesRawControlBytes) {
+  std::string out;
+  JsonEscape(std::string("x\x01y\x1fz", 5), &out);
+  EXPECT_EQ(out, "x\\u0001y\\u001fz");
+}
+
+TEST(JsonNumberTest, ShortestRoundTrip) {
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-1.5), "-1.5");
+  EXPECT_EQ(JsonNumber(12802), "12802");
+  // Shortest representation that round-trips, not a fixed precision.
+  EXPECT_EQ(JsonNumber(0.1), "0.1");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(out, "{}");
+  EXPECT_TRUE(w.Complete());
+
+  out.clear();
+  JsonWriter a(&out);
+  a.BeginArray();
+  a.EndArray();
+  EXPECT_EQ(out, "[]");
+  EXPECT_TRUE(a.Complete());
+}
+
+TEST(JsonWriterTest, ObjectMembersGetCommasAndIndentation) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.KeyUint("a", 1);
+  w.KeyString("b", "two");
+  w.KeyBool("c", true);
+  w.Key("d");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(out,
+            "{\n  \"a\": 1,\n  \"b\": \"two\",\n  \"c\": true,\n"
+            "  \"d\": null\n}");
+  EXPECT_TRUE(w.Complete());
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  std::string out;
+  JsonWriter w(&out, /*indent=*/0);
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.KeyUint("n", 7);
+  w.EndObject();
+  w.String("x");
+  w.Double(1.5);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(out, "{\"rows\":[{\"n\":7},\"x\",1.5]}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  std::string out;
+  JsonWriter w(&out, /*indent=*/0);
+  w.BeginObject();
+  w.Key("we\"ird");
+  w.String("line\nbreak");
+  w.EndObject();
+  EXPECT_EQ(out, "{\"we\\\"ird\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriterTest, TopLevelScalarCompletes) {
+  std::string out;
+  JsonWriter w(&out);
+  w.String("alone");
+  EXPECT_EQ(out, "\"alone\"");
+  EXPECT_TRUE(w.Complete());
+}
+
+TEST(JsonWriterTest, IntAndUintAndNegative) {
+  std::string out;
+  JsonWriter w(&out, /*indent=*/0);
+  w.BeginArray();
+  w.Uint(18446744073709551615ull);
+  w.Int(-42);
+  w.EndArray();
+  EXPECT_EQ(out, "[18446744073709551615,-42]");
+}
+
+}  // namespace
+}  // namespace reach

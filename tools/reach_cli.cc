@@ -19,6 +19,7 @@
 #include "baselines/factory.h"
 #include "core/reachability.h"
 #include "graph/graph_io.h"
+#include "util/strict_parse.h"
 #include "util/timer.h"
 
 namespace {
@@ -38,16 +39,9 @@ void Usage() {
                "from stdin\n");
 }
 
-// strtoull alone is too lax: it skips whitespace, negates signed input,
-// and saturates on overflow. Require pure digits that fit in Vertex.
 bool ParseVertex(const std::string& token, reach::Vertex* out) {
-  if (token.empty() ||
-      token.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  errno = 0;
-  const uint64_t value = std::strtoull(token.c_str(), nullptr, 10);
-  if (errno == ERANGE ||
+  uint64_t value = 0;
+  if (!reach::ParseDecimalUint64(token, &value) ||
       value > std::numeric_limits<reach::Vertex>::max()) {
     return false;
   }
@@ -124,14 +118,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (stats) {
+    // Index numbers come from the oracle's own BuildStats; the local timer
+    // only adds the SCC-condensation overhead on top of the oracle build.
+    const BuildStats& build_stats = index->oracle().build_stats();
     std::fprintf(stderr,
                  "graph: %zu vertices, %zu edges, %zu SCCs\n"
-                 "index: %s, %llu integers, built in %.1f ms\n",
+                 "index: %s, %llu integers, %llu bytes, built in %.1f ms "
+                 "(%.1f ms incl. condensation)\n",
                  graph->num_vertices(), graph->num_edges(),
                  index->num_components(), index->oracle().name().c_str(),
-                 static_cast<unsigned long long>(
-                     index->oracle().IndexSizeIntegers()),
-                 build_timer.ElapsedMillis());
+                 static_cast<unsigned long long>(build_stats.index_integers),
+                 static_cast<unsigned long long>(build_stats.index_bytes),
+                 build_stats.build_millis, build_timer.ElapsedMillis());
   }
 
   auto answer = [&](Vertex u, Vertex v) {
