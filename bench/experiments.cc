@@ -88,6 +88,7 @@ RunRecord StatsRecord(const ExperimentSpec& spec, const std::string& dataset,
   record.build_ms = stats.build_millis;
   record.index_integers = stats.index_integers;
   record.index_bytes = stats.index_bytes;
+  record.threads = stats.threads;
   if (!stats.ok) {
     record.budget_exceeded = stats.budget_exceeded;
     record.note = stats.failure_reason;
@@ -126,6 +127,9 @@ void RunTable(const ExperimentSpec& spec, const BenchConfig& config,
             ? cache->Graph(dataset)
             : (local_graph = MakeDataset(dataset), local_graph);
 
+    BuildOptions build_options;
+    build_options.threads = config.threads;
+
     // Workload (query tables only): ground truth via DL, whose correctness
     // the test suite establishes independently of any method under test.
     Workload workload;
@@ -133,8 +137,8 @@ void RunTable(const ExperimentSpec& spec, const BenchConfig& config,
       DistributionLabelingOracle local_truth;
       const ReachabilityOracle* truth = nullptr;
       if (cache != nullptr) {
-        truth = cache->TruthOracle(dataset.name, graph);
-      } else if (local_truth.Build(graph).ok()) {
+        truth = cache->TruthOracle(dataset.name, graph, config.threads);
+      } else if (local_truth.Build(graph, build_options).ok()) {
         truth = &local_truth;
       }
       if (truth == nullptr) {
@@ -179,7 +183,7 @@ void RunTable(const ExperimentSpec& spec, const BenchConfig& config,
       }
       oracle->set_budget(budget);
 
-      const Status status = oracle->Build(graph);
+      const Status status = oracle->Build(graph, build_options);
       const BuildStats& stats = oracle->build_stats();
       if (cache != nullptr) {
         cache->InsertBuild(dataset.name, method, budget, stats);
@@ -380,11 +384,16 @@ void RunCache::InsertBuild(const std::string& dataset,
 }
 
 const ReachabilityOracle* RunCache::TruthOracle(const std::string& dataset,
-                                                const Digraph& graph) {
+                                                const Digraph& graph,
+                                                int threads) {
   const auto it = truths_.find(dataset);
   if (it != truths_.end()) return it->second.get();
+  BuildOptions options;
+  options.threads = threads;
   auto truth = std::make_unique<DistributionLabelingOracle>();
-  if (!truth->Build(graph).ok()) truth.reset();  // Cache the failure too.
+  if (!truth->Build(graph, options).ok()) {
+    truth.reset();  // Cache the failure too.
+  }
   return truths_.emplace(dataset, std::move(truth)).first->second.get();
 }
 

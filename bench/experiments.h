@@ -54,9 +54,11 @@ class RunCache {
                    const BuildBudget& budget, const BuildStats& stats);
 
   /// The cached ground-truth oracle for `dataset`, built from `graph` on
-  /// first use. Returns nullptr when that build failed (also cached).
+  /// first use with `threads` construction workers (the labeling is
+  /// thread-count-invariant, so later calls may pass any value). Returns
+  /// nullptr when that build failed (also cached).
   const ReachabilityOracle* TruthOracle(const std::string& dataset,
-                                        const Digraph& graph);
+                                        const Digraph& graph, int threads);
 
   /// The dataset's graph, generated on first use: every experiment of a
   /// tier iterates the same datasets, and the synthetic generators are not

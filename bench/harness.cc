@@ -139,12 +139,19 @@ BenchConfig LargeTableDefaults() {
 StatusOr<BenchOverrides> ParseArgs(int argc, char** argv,
                                    bool allow_experiments) {
   BenchOverrides overrides;
+  // Help preempts validation: a user asking for usage must get it (and
+  // exit 0) even when other flags on the line are malformed.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      overrides.help = true;
+      return overrides;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       overrides.quick = true;
-    } else if (arg == "--help" || arg == "-h") {
-      overrides.help = true;
     } else if (arg.rfind("--queries=", 0) == 0) {
       uint64_t value = 0;
       REACH_RETURN_IF_ERROR(
@@ -166,6 +173,14 @@ StatusOr<BenchOverrides> ParseArgs(int argc, char** argv,
       REACH_RETURN_IF_ERROR(
           ParseDoubleValue("--budget-seconds", arg.substr(17), &value));
       overrides.budget_seconds = value;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      uint64_t value = 0;
+      REACH_RETURN_IF_ERROR(
+          ParseUintValue("--threads", arg.substr(10), &value));
+      if (value < 1 || value > 1024) {
+        return Status::InvalidArgument("--threads must be in [1, 1024]");
+      }
+      overrides.threads = static_cast<int>(value);
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string format = arg.substr(9);
       if (format != "text" && format != "csv" && format != "json") {
@@ -207,6 +222,7 @@ BenchConfig ApplyOverrides(const BenchConfig& defaults,
   if (overrides.budget_seconds) {
     config.build_time_budget_seconds = *overrides.budget_seconds;
   }
+  if (overrides.threads) config.threads = *overrides.threads;
   config.datasets = overrides.datasets;
   config.methods = overrides.methods;
   config.format = overrides.format;
@@ -235,7 +251,8 @@ std::optional<BenchConfig> ParseAblationArgs(int argc, char** argv,
     return std::nullopt;
   }
   if (!overrides->datasets.empty() || !overrides->methods.empty() ||
-      overrides->budget_seconds.has_value() || overrides->format != "text" ||
+      overrides->budget_seconds.has_value() ||
+      overrides->threads.has_value() || overrides->format != "text" ||
       !overrides->out_path.empty()) {
     std::fprintf(stderr,
                  "ablation benches accept only --quick and --queries=\n%s",
@@ -254,6 +271,8 @@ std::string UsageString(bool allow_experiments) {
       "  --datasets=a,b,c     restrict to named datasets\n"
       "  --methods=DL,HL      restrict to named methods\n"
       "  --budget-seconds=S   build time budget (0 = unlimited)\n"
+      "  --threads=N          construction worker threads (default: "
+      "REACH_THREADS env, else hardware concurrency)\n"
       "  --format=FMT         text (default), csv, or json\n"
       "  --out=PATH           write the report to PATH instead of stdout\n";
   if (allow_experiments) {

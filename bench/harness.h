@@ -45,6 +45,10 @@ struct BenchConfig {
   std::vector<std::string> datasets;         // Empty = all in the table.
   std::vector<std::string> methods;          // Empty = paper columns.
   bool quick = false;
+  // Construction threads (BuildOptions::threads): 0 = default (REACH_THREADS
+  // env var, else hardware concurrency); affects build wall time only —
+  // index bytes and query answers are thread-count-invariant.
+  int threads = 0;
   std::string format = "text";  // "text" | "csv" | "json".
   std::string out_path;         // Empty = stdout.
 };
@@ -58,6 +62,7 @@ struct BenchOverrides {
   bool help = false;
   std::optional<size_t> num_queries;
   std::optional<double> budget_seconds;
+  std::optional<int> threads;
   std::vector<std::string> datasets;
   std::vector<std::string> methods;
   std::vector<std::string> experiments;  // bench_all only.
@@ -71,13 +76,19 @@ struct BenchOverrides {
 ///   --datasets=a,b,c     restrict to named datasets (validated)
 ///   --methods=DL,HL      restrict to named methods (validated)
 ///   --budget-seconds=S   build time budget (non-negative; 0 = unlimited)
+///   --threads=N          construction worker threads (positive integer)
 ///   --format=FMT         text (default), csv, or json
 ///   --out=PATH           write the report to PATH instead of stdout
 ///   --experiments=a,b    (bench_all only) restrict to named experiments
-///   --help               sets .help; caller prints UsageString()
-/// Unknown flags, malformed numbers, and unknown dataset/method/experiment
-/// names yield InvalidArgument with a message listing the valid spellings —
-/// a typo must never silently produce an empty or partial table.
+///   --help, -h           sets .help; caller prints UsageString()
+/// Help is a first-class path: when --help/-h appears anywhere on the
+/// command line, ParseArgs returns immediately with only .help set — other
+/// flags are not validated, so `tool --queries=bogus --help` still prints
+/// usage and exits 0.
+/// Otherwise unknown flags, malformed numbers, and unknown
+/// dataset/method/experiment names yield InvalidArgument with a message
+/// listing the valid spellings — a typo must never silently produce an
+/// empty or partial table.
 StatusOr<BenchOverrides> ParseArgs(int argc, char** argv,
                                    bool allow_experiments);
 

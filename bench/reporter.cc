@@ -142,7 +142,7 @@ void CsvReporter::BeginExperiment(const ExperimentSpec& spec,
   if (buffer_.empty()) {
     buffer_ =
         "experiment,dataset,method,metric,value,budget_exceeded,build_ms,"
-        "index_integers,index_bytes,tier,note\n";
+        "index_integers,index_bytes,threads,tier,note\n";
   }
   experiment_id_ = spec.id;
   experiment_tier_ = spec.kind == ExperimentKind::kInventory
@@ -172,8 +172,10 @@ void CsvReporter::Row(const std::string& dataset, const std::string& method,
     buffer_ += std::to_string(stats->index_integers);
     buffer_ += ',';
     buffer_ += std::to_string(stats->index_bytes);
+    buffer_ += ',';
+    buffer_ += std::to_string(stats->threads);
   } else {
-    buffer_ += ",,";
+    buffer_ += ",,,";
   }
   buffer_ += ',';
   buffer_ += tier;
@@ -221,7 +223,7 @@ void CsvReporter::EndRun() {
 JsonReporter::JsonReporter(std::FILE* out)
     : out_(out), writer_(&buffer_) {
   writer_.BeginObject();
-  writer_.KeyUint("schema_version", 1);
+  writer_.KeyUint("schema_version", 2);
   writer_.Key("experiments");
   writer_.BeginArray();
 }
@@ -318,6 +320,7 @@ void JsonReporter::EndExperiment() {
     writer_.KeyDouble("build_ms", r.build_ms);
     writer_.KeyUint("index_integers", r.index_integers);
     writer_.KeyUint("index_bytes", r.index_bytes);
+    writer_.KeyUint("threads", static_cast<uint64_t>(r.threads));
     writer_.KeyBool("budget_exceeded", r.budget_exceeded);
     if (!r.note.empty()) writer_.KeyString("note", r.note);
     writer_.EndObject();

@@ -35,6 +35,7 @@ struct RunRecord {
   double build_ms = 0;
   uint64_t index_integers = 0;
   uint64_t index_bytes = 0;
+  int threads = 0;  // Resolved construction worker count.
 };
 
 /// One row of the Table 1 dataset inventory.
@@ -126,7 +127,9 @@ class CsvReporter : public Reporter {
 };
 
 /// Accumulates the whole run as a single JSON document:
-///   {"schema_version": 1, "experiments": [{..., "records": [...]}]}
+///   {"schema_version": 2, "experiments": [{..., "records": [...]}]}
+/// (schema_version 2 added the per-record "threads" field; see README
+/// "Machine-readable output".)
 /// Records are staged per experiment and serialized at EndExperiment so
 /// that dataset errors (which interleave with records) land in their own
 /// "dataset_errors" array.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when a relative markdown link in README.md or docs/*.md
+# points at a path that does not exist. External URLs (scheme prefixes) and
+# pure in-page anchors (#...) are skipped; a "path#anchor" link is checked
+# for the path part only. Run from the repository root (CI does; the CTest
+# entry sets WORKING_DIRECTORY).
+set -u
+
+fail=0
+for doc in README.md docs/*.md; do
+  [ -e "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline links: every "](target)" occurrence, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+      '#'*) continue ;;
+      '') continue ;;
+    esac
+    # Strip an optional '"title"' suffix and any #anchor.
+    path=${target%% *}
+    path=${path%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "$doc: broken relative link: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown link check FAILED" >&2
+else
+  echo "markdown link check OK"
+fi
+exit "$fail"

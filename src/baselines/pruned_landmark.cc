@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/backbone.h"
+#include "graph/level_bfs.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace reach {
@@ -39,67 +41,46 @@ Status PrunedLandmarkOracle::BuildIndex(const Digraph& dag) {
   if (n == 0) return Status::OK();
 
   // Landmark order: the same degree-product rank the core algorithms use.
+  const int threads = build_threads();
   std::vector<uint64_t> rank(n);
   std::vector<Vertex> order(n);
-  for (Vertex v = 0; v < n; ++v) {
-    rank[v] = DegreeProductRank(dag, v);
-    order[v] = v;
-  }
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  ParallelFor(0, n, 4096, threads,
+              [&](size_t v) { rank[v] = DegreeProductRank(dag, v); });
   std::sort(order.begin(), order.end(), [&rank](Vertex a, Vertex b) {
     return rank[a] != rank[b] ? rank[a] > rank[b] : a < b;
   });
 
+  // The landmark loop is inherently sequential (later landmarks prune
+  // against earlier labels); each pruned BFS parallelizes internally via
+  // the level-synchronous traversal of graph/level_bfs.h. Its contract
+  // holds here: the prune test for a candidate x at depth d reads
+  // Lout(hop)/Lin(x) (forward) or Lout(x)/Lin(hop) (backward), none of
+  // which a same-depth admission of another vertex mutates — and the
+  // current key cannot certify a candidate (it enters Lout(hop) only
+  // after the forward sweep, and never both sides of one test).
   std::vector<uint32_t> mark(n, 0);
-  std::vector<uint32_t> dist(n, 0);
   uint32_t epoch = 0;
-  std::vector<Vertex> queue;
+  LevelBfsScratch scratch;
   for (uint32_t key = 0; key < n; ++key) {
     const Vertex hop = order[key];
-    // Forward pruned BFS: hop reaches w at distance d => consider adding
-    // (hop, d) to Lin(w), unless existing labels already certify
-    // Distance(hop, w) <= d.
+    // Forward pruned BFS: hop reaches w at distance d => add (hop, d) to
+    // Lin(w), unless existing labels already certify Distance(hop, w) <= d
+    // (then the whole subtree is pruned).
     ++epoch;
-    queue.clear();
-    queue.push_back(hop);
-    mark[hop] = epoch;
-    dist[hop] = 0;
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const Vertex x = queue[head];
-      const uint32_t d = dist[x];
-      if (Distance(hop, x) <= d && x != hop) continue;  // Prune subtree.
-      if (x == hop || Distance(hop, x) > d) {
-        in_[x].push_back(Entry{key, d});
-      }
-      for (Vertex w : dag.OutNeighbors(x)) {
-        if (mark[w] != epoch) {
-          mark[w] = epoch;
-          dist[w] = d + 1;
-          queue.push_back(w);
-        }
-      }
-    }
+    RunPrunedLevelBfs(
+        dag, hop, /*forward=*/true, threads, &mark, epoch,
+        [&](Vertex x, uint32_t d) { return Distance(hop, x) <= d; },
+        [&](Vertex x, uint32_t d) { in_[x].push_back(Entry{key, d}); },
+        &scratch);
     // Backward pruned BFS: u reaches hop at distance d => (hop, d) in
     // Lout(u) unless already certified.
     ++epoch;
-    queue.clear();
-    queue.push_back(hop);
-    mark[hop] = epoch;
-    dist[hop] = 0;
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const Vertex x = queue[head];
-      const uint32_t d = dist[x];
-      if (Distance(x, hop) <= d && x != hop) continue;
-      if (x == hop || Distance(x, hop) > d) {
-        out_[x].push_back(Entry{key, d});
-      }
-      for (Vertex w : dag.InNeighbors(x)) {
-        if (mark[w] != epoch) {
-          mark[w] = epoch;
-          dist[w] = d + 1;
-          queue.push_back(w);
-        }
-      }
-    }
+    RunPrunedLevelBfs(
+        dag, hop, /*forward=*/false, threads, &mark, epoch,
+        [&](Vertex x, uint32_t d) { return Distance(x, hop) <= d; },
+        [&](Vertex x, uint32_t d) { out_[x].push_back(Entry{key, d}); },
+        &scratch);
     if ((key & 0x3ff) == 0 && budget_.max_seconds > 0 &&
         timer.ElapsedSeconds() > budget_.max_seconds) {
       return Status::ResourceExhausted("PL over time budget");

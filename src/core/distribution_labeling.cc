@@ -4,8 +4,10 @@
 #include <cassert>
 
 #include "core/backbone.h"
+#include "graph/level_bfs.h"
 #include "graph/topology.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace reach {
@@ -26,13 +28,15 @@ std::string DistributionOrderName(DistributionOrder order) {
 
 std::vector<Vertex> ComputeDistributionOrder(
     const Digraph& g, const std::vector<Vertex>& members,
-    const DistributionOptions& options) {
+    const DistributionOptions& options, int threads) {
   std::vector<Vertex> order = members;
   switch (options.order) {
     case DistributionOrder::kDegreeProduct:
     case DistributionOrder::kReverseDegreeProduct: {
       std::vector<uint64_t> rank(g.num_vertices(), 0);
-      for (Vertex v : members) rank[v] = DegreeProductRank(g, v);
+      ParallelFor(0, members.size(), 4096, threads, [&](size_t i) {
+        rank[members[i]] = DegreeProductRank(g, members[i]);
+      });
       const bool descending =
           options.order == DistributionOrder::kDegreeProduct;
       std::sort(order.begin(), order.end(),
@@ -66,52 +70,39 @@ std::vector<Vertex> ComputeDistributionOrder(
 
 void DistributeLabels(const Digraph& g, const std::vector<Vertex>& order,
                       const std::vector<uint32_t>& key_of,
-                      HopLabeling* labeling) {
+                      HopLabeling* labeling, int threads) {
   const size_t n = g.num_vertices();
   std::vector<uint32_t> mark(n, 0);
   uint32_t epoch = 0;
-  std::vector<Vertex> queue;
-  queue.reserve(256);
+  LevelBfsScratch scratch;
 
+  // The outer hop loop is inherently sequential (each hop's pruning depends
+  // on all earlier hops' labels); parallelism lives inside each traversal,
+  // where the level-synchronous BFS evaluates the pruning intersections of
+  // one frontier concurrently and merges deterministically (level_bfs.h).
   for (const Vertex hop : order) {
     const uint32_t key = key_of[hop];
     // --- Reverse BFS: add `hop` to Lout of TC^-1(hop) \ TC^-1(X). ---
     // A visited u is pruned when Lout(u) already intersects Lin(hop): some
     // higher-order hop certifies u -> hop, so u (and everything above it)
-    // is already covered (Algorithm 2, Lines 4-5).
+    // is already covered (Algorithm 2, Lines 4-5). The source is admitted
+    // unpruned: in a DAG Lout(hop) and Lin(hop) cannot intersect yet (that
+    // would certify a cycle through a higher-order hop).
     ++epoch;
-    queue.clear();
-    mark[hop] = epoch;
-    // In a DAG Lout(hop) and Lin(hop) cannot intersect yet (that would
-    // certify a cycle through a higher-order hop), so `hop` labels itself.
-    labeling->InsertOut(hop, key);
-    queue.push_back(hop);
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const Vertex v = queue[head];
-      for (Vertex u : g.InNeighbors(v)) {
-        if (mark[u] == epoch) continue;
-        mark[u] = epoch;
-        if (SortedIntersects(labeling->Out(u), labeling->In(hop))) continue;
-        labeling->InsertOut(u, key);
-        queue.push_back(u);
-      }
-    }
+    RunPrunedLevelBfs(
+        g, hop, /*forward=*/false, threads, &mark, epoch,
+        [&](Vertex u, uint32_t) {
+          return SortedIntersects(labeling->Out(u), labeling->In(hop));
+        },
+        [&](Vertex u, uint32_t) { labeling->InsertOut(u, key); }, &scratch);
     // --- Forward BFS: add `hop` to Lin of TC(hop) \ TC(Y). ---
     ++epoch;
-    queue.clear();
-    mark[hop] = epoch;
-    labeling->InsertIn(hop, key);
-    queue.push_back(hop);
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const Vertex v = queue[head];
-      for (Vertex w : g.OutNeighbors(v)) {
-        if (mark[w] == epoch) continue;
-        mark[w] = epoch;
-        if (SortedIntersects(labeling->In(w), labeling->Out(hop))) continue;
-        labeling->InsertIn(w, key);
-        queue.push_back(w);
-      }
-    }
+    RunPrunedLevelBfs(
+        g, hop, /*forward=*/true, threads, &mark, epoch,
+        [&](Vertex w, uint32_t) {
+          return SortedIntersects(labeling->In(w), labeling->Out(hop));
+        },
+        [&](Vertex w, uint32_t) { labeling->InsertIn(w, key); }, &scratch);
   }
 }
 
@@ -123,7 +114,7 @@ Status DistributionLabelingOracle::BuildIndex(const Digraph& dag) {
   const size_t n = dag.num_vertices();
   std::vector<Vertex> members(n);
   for (Vertex v = 0; v < n; ++v) members[v] = v;
-  order_ = ComputeDistributionOrder(dag, members, options_);
+  order_ = ComputeDistributionOrder(dag, members, options_, build_threads());
 
   // Hop keys are order positions: appends during distribution are then
   // naturally ascending, and label vectors stay sorted with O(1) inserts.
@@ -131,7 +122,7 @@ Status DistributionLabelingOracle::BuildIndex(const Digraph& dag) {
   for (uint32_t i = 0; i < order_.size(); ++i) key_of[order_[i]] = i;
 
   labeling_.Init(n);
-  DistributeLabels(dag, order_, key_of, &labeling_);
+  DistributeLabels(dag, order_, key_of, &labeling_, build_threads());
 
   if (budget_.max_seconds > 0 && timer.ElapsedSeconds() > budget_.max_seconds) {
     return Status::ResourceExhausted("DL construction exceeded time budget");

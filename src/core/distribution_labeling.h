@@ -47,14 +47,19 @@ struct DistributionOptions {
 /// Keys must be injective over `order`; labels stay sorted via ordered
 /// insertion. Traversals never leave the `order` vertex set, because `g` is
 /// required to have edges only among those vertices.
+///
+/// `threads` bounds the workers of the per-hop level-synchronous BFS
+/// (graph/level_bfs.h); the produced labeling is byte-identical for every
+/// thread count.
 void DistributeLabels(const Digraph& g, const std::vector<Vertex>& order,
                       const std::vector<uint32_t>& key_of,
-                      HopLabeling* labeling);
+                      HopLabeling* labeling, int threads = 1);
 
 /// Computes the processing order of `members` under the given policy.
-std::vector<Vertex> ComputeDistributionOrder(const Digraph& g,
-                                             const std::vector<Vertex>& members,
-                                             const DistributionOptions& options);
+/// Deterministic for any `threads` (only the rank sweep is parallel).
+std::vector<Vertex> ComputeDistributionOrder(
+    const Digraph& g, const std::vector<Vertex>& members,
+    const DistributionOptions& options, int threads = 1);
 
 /// The DL reachability oracle.
 class DistributionLabelingOracle : public ReachabilityOracle {

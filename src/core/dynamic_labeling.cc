@@ -20,11 +20,11 @@ Status DynamicDistributionLabeling::BuildIndex(const Digraph& dag) {
   const size_t n = dag.num_vertices();
   std::vector<Vertex> members(n);
   for (Vertex v = 0; v < n; ++v) members[v] = v;
-  order_ = ComputeDistributionOrder(dag, members, options_);
+  order_ = ComputeDistributionOrder(dag, members, options_, build_threads());
   key_of_.assign(n, 0);
   for (uint32_t i = 0; i < order_.size(); ++i) key_of_[order_[i]] = i;
   labeling_.Init(n);
-  DistributeLabels(dag, order_, key_of_, &labeling_);
+  DistributeLabels(dag, order_, key_of_, &labeling_, build_threads());
   return Status::OK();
 }
 

@@ -1,15 +1,20 @@
 #include "core/oracle.h"
 
 #include "graph/topology.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace reach {
 
-Status ReachabilityOracle::Build(const Digraph& dag) {
+Status ReachabilityOracle::Build(const Digraph& dag,
+                                 const BuildOptions& options) {
+  build_threads_ =
+      options.threads > 0 ? options.threads : DefaultBuildThreads();
   Timer timer;
   const Status status = BuildIndex(dag);
   build_stats_ = BuildStats();
   build_stats_.build_millis = timer.ElapsedMillis();
+  build_stats_.threads = build_threads_;
   build_stats_.ok = status.ok();
   if (status.ok()) {
     build_stats_.index_integers = IndexSizeIntegers();

@@ -27,6 +27,21 @@ struct BuildBudget {
   }
 };
 
+/// Construction-time knobs common to every oracle, passed per Build() call
+/// (unlike BuildBudget, which is sticky oracle state set via set_budget).
+struct BuildOptions {
+  /// Worker threads for index construction. 0 (the default) resolves to
+  /// the REACH_THREADS environment variable when set, else the hardware
+  /// concurrency; any value >= 1 is used exactly (see
+  /// util/thread_pool.h: DefaultBuildThreads).
+  ///
+  /// Determinism guarantee: the thread count only changes construction
+  /// wall time, never the result — for every oracle in this library the
+  /// built index is byte-identical, and every query answers identically,
+  /// for any `threads` value (docs/ARCHITECTURE.md, "Threading contract").
+  int threads = 0;
+};
+
 /// Outcome of the last Build() call, recorded by the base class so that
 /// consumers (the bench harness, the CLI's --stats) read construction wall
 /// time, index size, and the budget-exceeded reason from one place instead
@@ -35,6 +50,7 @@ struct BuildStats {
   double build_millis = 0;
   uint64_t index_integers = 0;  // Valid only after an OK build.
   uint64_t index_bytes = 0;     // Valid only after an OK build.
+  int threads = 0;              // Resolved worker count used by the build.
   bool ok = false;
   bool budget_exceeded = false;  // Build returned ResourceExhausted.
   std::string failure_reason;    // Status message when !ok, else empty.
@@ -42,6 +58,18 @@ struct BuildStats {
 
 /// A reachability oracle over a DAG: after Build, Reachable(u, v) answers
 /// whether u reaches v (reflexively: Reachable(v, v) is true).
+///
+/// Ownership & thread-safety:
+///  - An oracle owns its index storage outright; it never aliases the input
+///    Digraph after Build() returns (OnlineSearchOracle, which answers by
+///    traversal, keeps its own copy).
+///  - Build() is NOT thread-safe: one Build per oracle, from one thread.
+///    Construction may fan work out internally across BuildOptions.threads
+///    workers, but that parallelism never escapes the Build() call.
+///  - After a successful Build(), Reachable()/IndexSize*/build_stats() are
+///    const and safe to call concurrently from any number of threads
+///    (exception: OnlineSearchOracle's Reachable mutates per-query scratch
+///    and is single-threaded; see its header).
 class ReachabilityOracle {
  public:
   virtual ~ReachabilityOracle() = default;
@@ -51,7 +79,12 @@ class ReachabilityOracle {
   /// budget is exceeded. An oracle must be built exactly once.
   /// Non-virtual: times the method-specific BuildIndex() and records
   /// build_stats().
-  Status Build(const Digraph& dag);
+  Status Build(const Digraph& dag) { return Build(dag, BuildOptions()); }
+
+  /// As above, with explicit construction options. The resolved thread
+  /// count is recorded in build_stats().threads; per the determinism
+  /// guarantee (BuildOptions::threads) it affects wall time only.
+  Status Build(const Digraph& dag, const BuildOptions& options);
 
   /// True iff u reaches v. Only valid after a successful Build.
   virtual bool Reachable(Vertex u, Vertex v) const = 0;
@@ -75,8 +108,17 @@ class ReachabilityOracle {
   /// Method-specific construction; invoked exactly once by Build().
   virtual Status BuildIndex(const Digraph& dag) = 0;
 
+  /// The resolved worker count for the current Build() call (always >= 1).
+  /// Valid inside BuildIndex(); implementations pass it to ParallelFor /
+  /// ParallelChunks (util/thread_pool.h). Implementations that have no
+  /// parallel phase simply ignore it.
+  int build_threads() const { return build_threads_; }
+
   BuildBudget budget_;
   BuildStats build_stats_;
+
+ private:
+  int build_threads_ = 1;
 };
 
 namespace internal {

@@ -3,12 +3,13 @@
 namespace reach {
 
 StatusOr<ReachabilityIndex> ReachabilityIndex::Build(
-    const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle) {
+    const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
+    const BuildOptions& options) {
   if (oracle == nullptr) {
     return Status::InvalidArgument("oracle must not be null");
   }
   Condensation condensation = CondenseToDag(g);
-  REACH_RETURN_IF_ERROR(oracle->Build(condensation.dag));
+  REACH_RETURN_IF_ERROR(oracle->Build(condensation.dag, options));
   return ReachabilityIndex(std::move(condensation), std::move(oracle));
 }
 

@@ -23,10 +23,12 @@ namespace reach {
 ///   if (index.ok() && index->Reachable(u, v)) { ... }
 class ReachabilityIndex {
  public:
-  /// Condenses `g`, builds `oracle` on the condensation, and returns the
-  /// ready-to-query index.
+  /// Condenses `g`, builds `oracle` on the condensation (with `options`
+  /// forwarded to ReachabilityOracle::Build, e.g. the thread count), and
+  /// returns the ready-to-query index.
   static StatusOr<ReachabilityIndex> Build(
-      const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle);
+      const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
+      const BuildOptions& options = {});
 
   /// True iff a directed path from u to v exists in the original graph
   /// (trivially true when u == v or both lie in one SCC).

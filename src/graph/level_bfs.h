@@ -1,0 +1,125 @@
+// Level-synchronous pruned BFS with a deterministic sequential merge — the
+// fork-join parallelization pattern used by the hop-distribution loops of
+// Distribution Labeling and Pruned Landmark.
+//
+// A classic pruned BFS interleaves three effects while scanning its queue:
+// it *marks* newly discovered vertices, *prunes* the ones the current labels
+// already cover, and *admits* the rest (labels them and expands them). The
+// level-synchronous form splits each depth into two phases:
+//
+//   1. Parallel scan: every frontier slot independently lists its unmarked
+//      neighbors and evaluates the prune predicate for them. This phase
+//      writes only per-slot candidate buffers.
+//   2. Sequential merge: candidates are replayed in slot order (the exact
+//      order the classic loop would have discovered them), deduplicated via
+//      the mark array, and admitted or pruned.
+//
+// The traversal — marks, pruned set, admitted set, admission order — is
+// byte-identical to the classic sequential loop for any thread count,
+// PROVIDED the prune predicate only reads state that same-depth admissions
+// do not mutate for other vertices (both call sites qualify: DL's prune
+// reads Lout(u)/Lin(hop), PL's reads Lout(hop)/Lin(u); an admission at the
+// same depth only touches the admitted vertex's own label).
+
+#ifndef REACH_GRAPH_LEVEL_BFS_H_
+#define REACH_GRAPH_LEVEL_BFS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/thread_pool.h"
+
+namespace reach {
+
+/// Reusable buffers for RunPrunedLevelBfs; keep one per traversal owner to
+/// amortize allocations across hops.
+struct LevelBfsScratch {
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  // candidates[slot] = (neighbor, prune(neighbor)) pairs found by frontier
+  // slot `slot`, in adjacency order.
+  std::vector<std::vector<std::pair<Vertex, bool>>> candidates;
+};
+
+/// Frontier slots per parallel task.
+inline constexpr size_t kLevelBfsGrain = 64;
+/// Below this frontier size a level is expanded sequentially: the fork-join
+/// overhead would exceed the scan itself.
+inline constexpr size_t kLevelBfsParallelCutoff = 2 * kLevelBfsGrain;
+
+/// Pruned BFS from `source` over `g` (forward or reverse edges), marking
+/// visits in `(*mark)[v] == epoch` (caller bumps `epoch` per traversal, as
+/// in the epoch-mark idiom used across this library).
+///
+/// `prune(v, depth)` decides whether a newly discovered vertex is covered
+/// already; it may run concurrently and must be read-only (see the file
+/// comment for the exact aliasing requirement). `admit(v, depth)` runs
+/// sequentially, in deterministic discovery order, for the source and every
+/// non-pruned vertex; admitted vertices are expanded, pruned ones are marked
+/// but neither labeled nor expanded.
+template <typename PruneFn, typename AdmitFn>
+void RunPrunedLevelBfs(const Digraph& g, Vertex source, bool forward,
+                       int threads, std::vector<uint32_t>* mark,
+                       uint32_t epoch, PruneFn&& prune, AdmitFn&& admit,
+                       LevelBfsScratch* scratch) {
+  (*mark)[source] = epoch;
+  admit(source, 0);
+
+  std::vector<Vertex>& frontier = scratch->frontier;
+  std::vector<Vertex>& next = scratch->next;
+  frontier.clear();
+  frontier.push_back(source);
+
+  for (uint32_t depth = 1; !frontier.empty(); ++depth) {
+    next.clear();
+    if (threads > 1 && frontier.size() >= kLevelBfsParallelCutoff) {
+      // Phase 1: per-slot candidate lists. A vertex adjacent to several
+      // frontier slots is evaluated by each of them; the merge keeps only
+      // the first occurrence, exactly like the sequential mark check.
+      auto& candidates = scratch->candidates;
+      if (candidates.size() < frontier.size()) {
+        candidates.resize(frontier.size());
+      }
+      ParallelFor(0, frontier.size(), kLevelBfsGrain, threads,
+                  [&](size_t slot) {
+                    auto& found = candidates[slot];
+                    found.clear();
+                    const Vertex v = frontier[slot];
+                    auto nbrs =
+                        forward ? g.OutNeighbors(v) : g.InNeighbors(v);
+                    for (Vertex w : nbrs) {
+                      if ((*mark)[w] == epoch) continue;
+                      found.emplace_back(w, prune(w, depth));
+                    }
+                  });
+      // Phase 2: deterministic merge in slot order.
+      for (size_t slot = 0; slot < frontier.size(); ++slot) {
+        for (const auto& [w, pruned] : candidates[slot]) {
+          if ((*mark)[w] == epoch) continue;
+          (*mark)[w] = epoch;
+          if (pruned) continue;
+          admit(w, depth);
+          next.push_back(w);
+        }
+      }
+    } else {
+      for (const Vertex v : frontier) {
+        auto nbrs = forward ? g.OutNeighbors(v) : g.InNeighbors(v);
+        for (Vertex w : nbrs) {
+          if ((*mark)[w] == epoch) continue;
+          (*mark)[w] = epoch;
+          if (prune(w, depth)) continue;
+          admit(w, depth);
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_LEVEL_BFS_H_

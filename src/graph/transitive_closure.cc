@@ -1,11 +1,23 @@
 #include "graph/transitive_closure.h"
 
+#include <algorithm>
+
 #include "graph/topology.h"
+#include "util/thread_pool.h"
 
 namespace reach {
 
+namespace {
+
+/// Rows per parallel task: one row union is already O(n/64 * out-degree)
+/// words of work, so small chunks keep the strata load-balanced.
+constexpr size_t kRowGrain = 8;
+
+}  // namespace
+
 StatusOr<TransitiveClosure> TransitiveClosure::Compute(const Digraph& g,
-                                                       size_t max_bytes) {
+                                                       size_t max_bytes,
+                                                       int threads) {
   const size_t n = g.num_vertices();
   const size_t bytes = n * ((n + 63) / 64) * 8;
   if (max_bytes != 0 && bytes > max_bytes) {
@@ -19,12 +31,50 @@ StatusOr<TransitiveClosure> TransitiveClosure::Compute(const Digraph& g,
 
   TransitiveClosure tc;
   tc.rows_.assign(n, Bitset(n));
-  // Reverse topological order: all successors are complete before v.
+  if (threads <= 1) {
+    // Reverse topological order: all successors are complete before v.
+    for (size_t i = n; i-- > 0;) {
+      const Vertex v = (*order)[i];
+      Bitset& row = tc.rows_[v];
+      row.Set(v);
+      for (Vertex w : g.OutNeighbors(v)) row.UnionWith(tc.rows_[w]);
+    }
+    return tc;
+  }
+
+  // Parallel DP over depth strata. depth[v] = longest path from v to a
+  // sink; every out-neighbor is strictly deeper, so once all rows of depth
+  // < d are complete the rows at depth d are independent of each other.
+  std::vector<uint32_t> depth(n, 0);
+  uint32_t max_depth = 0;
   for (size_t i = n; i-- > 0;) {
     const Vertex v = (*order)[i];
-    Bitset& row = tc.rows_[v];
-    row.Set(v);
-    for (Vertex w : g.OutNeighbors(v)) row.UnionWith(tc.rows_[w]);
+    uint32_t d = 0;
+    for (Vertex w : g.OutNeighbors(v)) d = std::max(d, depth[w] + 1);
+    depth[v] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  // Bucket by depth (counting sort keeps vertex order inside a stratum
+  // deterministic, though row content is order-independent anyway).
+  std::vector<size_t> bucket_start(max_depth + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bucket_start[depth[v] + 1];
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<Vertex> by_depth(n);
+  std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+  for (Vertex v = 0; v < n; ++v) by_depth[cursor[depth[v]]++] = v;
+
+  for (uint32_t d = 0; d <= max_depth; ++d) {
+    ParallelFor(bucket_start[d], bucket_start[d + 1], kRowGrain, threads,
+                [&](size_t i) {
+                  const Vertex v = by_depth[i];
+                  Bitset& row = tc.rows_[v];
+                  row.Set(v);
+                  for (Vertex w : g.OutNeighbors(v)) {
+                    row.UnionWith(tc.rows_[w]);
+                  }
+                });
   }
   return tc;
 }

@@ -20,8 +20,15 @@ class TransitiveClosure {
   /// Computes the closure of a DAG by bitset DP in reverse topological order.
   /// Fails with InvalidArgument if `g` has a cycle, or ResourceExhausted if
   /// n^2 bits would exceed `max_bytes` (0 = unlimited).
+  ///
+  /// `threads` > 1 parallelizes the row unions: vertices are grouped by
+  /// longest-path-to-sink depth, and within one depth stratum every row
+  /// depends only on strictly deeper (already complete) rows, so the rows
+  /// of a stratum are OR-reduced concurrently. Bitwise OR is commutative,
+  /// so the closure is bit-identical for every thread count.
   static StatusOr<TransitiveClosure> Compute(const Digraph& g,
-                                             size_t max_bytes = 0);
+                                             size_t max_bytes = 0,
+                                             int threads = 1);
 
   size_t num_vertices() const { return rows_.size(); }
 

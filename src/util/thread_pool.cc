@@ -1,0 +1,196 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "util/strict_parse.h"
+
+namespace reach {
+
+ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::EnsureWorkers(size_t num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < num_workers) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Function-local static: joined during static destruction, after every
+  // ParallelChunks call has completed (they are synchronous), so no task is
+  // in flight by then.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+unsigned HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+int DefaultBuildThreads() {
+  const char* env = std::getenv("REACH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    uint64_t value = 0;
+    if (ParseDecimalUint64(env, &value) && value >= 1 && value <= 1024) {
+      return static_cast<int>(value);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "warning: ignoring REACH_THREADS='%s' (want an integer in "
+                   "[1, 1024]); using hardware concurrency\n",
+                   env);
+    }
+  }
+  return static_cast<int>(HardwareThreads());
+}
+
+namespace internal {
+
+namespace {
+
+// Shared state of one ParallelChunksImpl call. Helpers and the caller pull
+// chunk indices from `next`; `pending_helpers` gates the caller's return.
+struct ChunkRun {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(const ChunkInfo&)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t pending_helpers = 0;
+  std::exception_ptr first_exception;
+
+  void RunChunksAs(size_t worker) {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      ChunkInfo info;
+      info.index = chunk;
+      info.begin = begin + chunk * grain;
+      info.end = std::min(end, info.begin + grain);
+      info.worker = worker;
+      try {
+        (*fn)(info);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_exception) first_exception = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+// True while the current thread is executing a chunk; nested ParallelChunks
+// calls then run inline instead of blocking on the (possibly saturated)
+// shared pool.
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+void ParallelChunksImpl(size_t begin, size_t end, size_t grain, int threads,
+                        const std::function<void(const ChunkInfo&)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+  int resolved = threads > 0 ? threads : DefaultBuildThreads();
+  const size_t participants =
+      in_parallel_region
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(resolved), num_chunks);
+
+  if (participants <= 1) {
+    // Sequential path: ascending chunk order, no synchronization. This is
+    // the reference schedule the determinism contract is stated against.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      ChunkInfo info;
+      info.index = chunk;
+      info.begin = begin + chunk * grain;
+      info.end = std::min(end, info.begin + grain);
+      info.worker = 0;
+      fn(info);
+    }
+    return;
+  }
+
+  auto run = std::make_shared<ChunkRun>();
+  run->begin = begin;
+  run->end = end;
+  run->grain = grain;
+  run->num_chunks = num_chunks;
+  run->fn = &fn;
+  run->pending_helpers = participants - 1;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.EnsureWorkers(participants - 1);
+  for (size_t helper = 1; helper < participants; ++helper) {
+    pool.Submit([run, helper] {
+      in_parallel_region = true;
+      run->RunChunksAs(helper);
+      in_parallel_region = false;
+      std::lock_guard<std::mutex> lock(run->mu);
+      if (--run->pending_helpers == 0) run->done_cv.notify_all();
+    });
+  }
+
+  in_parallel_region = true;
+  run->RunChunksAs(0);
+  in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(run->mu);
+  run->done_cv.wait(lock, [&run] { return run->pending_helpers == 0; });
+  if (run->first_exception) std::rethrow_exception(run->first_exception);
+}
+
+}  // namespace internal
+}  // namespace reach

@@ -41,14 +41,15 @@ TEST(ParseArgsTest, EmptyCommandLineIsDefaults) {
 TEST(ParseArgsTest, AcceptsEveryFlag) {
   const auto parsed = Parse({"--quick", "--queries=500",
                              "--datasets=arxiv,human", "--methods=DL,HL",
-                             "--budget-seconds=2.5", "--format=json",
-                             "--out=/tmp/r.json"});
+                             "--budget-seconds=2.5", "--threads=8",
+                             "--format=json", "--out=/tmp/r.json"});
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_TRUE(parsed->quick);
   EXPECT_EQ(*parsed->num_queries, 500u);
   EXPECT_EQ(parsed->datasets, (std::vector<std::string>{"arxiv", "human"}));
   EXPECT_EQ(parsed->methods, (std::vector<std::string>{"DL", "HL"}));
   EXPECT_DOUBLE_EQ(*parsed->budget_seconds, 2.5);
+  EXPECT_EQ(*parsed->threads, 8);
   EXPECT_EQ(parsed->format, "json");
   EXPECT_EQ(parsed->out_path, "/tmp/r.json");
 }
@@ -56,6 +57,31 @@ TEST(ParseArgsTest, AcceptsEveryFlag) {
 TEST(ParseArgsTest, HelpFlagSetsHelp) {
   ASSERT_TRUE(Parse({"--help"})->help);
   ASSERT_TRUE(Parse({"-h"})->help);
+}
+
+TEST(ParseArgsTest, HelpPreemptsValidationOfOtherFlags) {
+  // A user asking for usage must get it (exit 0) even when the rest of the
+  // command line would fail validation.
+  for (const auto& args :
+       {std::vector<std::string>{"--queries=bogus", "--help"},
+        std::vector<std::string>{"--frobnicate", "-h"},
+        std::vector<std::string>{"--datasets=no-such-dataset", "--help"}}) {
+    const auto parsed = Parse(args);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed->help);
+  }
+}
+
+TEST(ParseArgsTest, ThreadsRequiresPositiveInteger) {
+  for (const char* bad : {"--threads=0", "--threads=abc", "--threads=",
+                          "--threads=-2", "--threads=1.5",
+                          "--threads=2000"}) {
+    const auto parsed = Parse({bad});
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  }
+  EXPECT_EQ(*Parse({"--threads=1"})->threads, 1);
+  EXPECT_EQ(*Parse({"--threads=64"})->threads, 64);
 }
 
 TEST(ParseArgsTest, RejectsUnknownFlag) {
@@ -184,6 +210,14 @@ TEST(ApplyOverridesTest, ExplicitFlagsBeatQuick) {
   EXPECT_DOUBLE_EQ(config.build_time_budget_seconds, 9);
 }
 
+TEST(ApplyOverridesTest, ThreadsDefaultsToZeroAndFollowsTheFlag) {
+  // 0 = "resolve at Build time" (REACH_THREADS env, else hardware).
+  EXPECT_EQ(ApplyOverrides(SmallTableDefaults(), {}).threads, 0);
+  BenchOverrides overrides;
+  overrides.threads = 8;
+  EXPECT_EQ(ApplyOverrides(LargeTableDefaults(), overrides).threads, 8);
+}
+
 TEST(MetricNamesTest, StableMachineReadableNames) {
   EXPECT_EQ(MetricName(Metric::kQueryMillis), "query_ms_per_100k");
   EXPECT_EQ(MetricName(Metric::kConstructionMillis), "construction_ms");
@@ -222,7 +256,7 @@ TEST(ParseAblationArgsTest, RejectsFlagsTheAblationsWouldIgnore) {
   // accepting these flags and ignoring them would fake a restricted run.
   for (const char* bad :
        {"--datasets=arxiv", "--methods=DL", "--budget-seconds=5",
-        "--format=json", "--out=/tmp/x", "--frobnicate"}) {
+        "--threads=4", "--format=json", "--out=/tmp/x", "--frobnicate"}) {
     int exit_code = -1;
     EXPECT_FALSE(ParseAblation({bad}, &exit_code).has_value()) << bad;
     EXPECT_EQ(exit_code, 2) << bad;

@@ -250,6 +250,7 @@ RunRecord OkRecord() {
   r.build_ms = 3.25;
   r.index_integers = 1000;
   r.index_bytes = 4000;
+  r.threads = 4;
   return r;
 }
 
@@ -262,6 +263,7 @@ RunRecord BudgetExceededRecord() {
   r.budget_exceeded = true;
   r.note = "2HOP set-cover over time budget";
   r.build_ms = 5001;
+  r.threads = 4;
   return r;
 }
 
@@ -285,7 +287,7 @@ TEST(JsonReporterTest, OutputParsesAsSingleDocument) {
   JsonValue doc;
   ASSERT_TRUE(JsonParser(out).Parse(&doc)) << out;
   ASSERT_EQ(doc.type, JsonValue::kObject);
-  EXPECT_EQ(doc.at("schema_version").number, 1);
+  EXPECT_EQ(doc.at("schema_version").number, 2);
   ASSERT_EQ(doc.at("experiments").type, JsonValue::kArray);
   ASSERT_EQ(doc.at("experiments").items.size(), 1u);
 
@@ -314,6 +316,7 @@ TEST(JsonReporterTest, RecordsCarryPerCellFieldsAndExplicitDnf) {
   EXPECT_EQ(ok.at("build_ms").number, 3.25);
   EXPECT_EQ(ok.at("index_integers").number, 1000);
   EXPECT_EQ(ok.at("index_bytes").number, 4000);
+  EXPECT_EQ(ok.at("threads").number, 4);
   EXPECT_FALSE(ok.at("budget_exceeded").boolean);
 
   // The "--" cell: value is null (not 0, not absent), budget_exceeded is
@@ -398,9 +401,9 @@ TEST(CsvReporterTest, HeaderPlusOneRowPerRecord) {
   ASSERT_EQ(lines.size(), 4u);  // header + ok + dnf + dataset error.
   EXPECT_EQ(lines[0],
             "experiment,dataset,method,metric,value,budget_exceeded,"
-            "build_ms,index_integers,index_bytes,tier,note");
+            "build_ms,index_integers,index_bytes,threads,tier,note");
   EXPECT_EQ(lines[1],
-            "table2,arxiv,DL,query_ms_per_100k,12.5,false,3.25,1000,4000,"
+            "table2,arxiv,DL,query_ms_per_100k,12.5,false,3.25,1000,4000,4,"
             "small,");
 }
 
@@ -408,7 +411,7 @@ TEST(CsvReporterTest, DnfCellHasEmptyValueAndTrueFlag) {
   const std::string out = Capture("csv", FeedOneExperiment);
   const std::vector<std::string> lines = SplitLines(out);
   EXPECT_EQ(lines[2],
-            "table2,arxiv,2HOP,query_ms_per_100k,,true,5001,0,0,small,"
+            "table2,arxiv,2HOP,query_ms_per_100k,,true,5001,0,0,4,small,"
             "2HOP set-cover over time budget");
 }
 
@@ -417,7 +420,7 @@ TEST(CsvReporterTest, FieldsWithCommasAndQuotesAreEscaped) {
   const std::vector<std::string> lines = SplitLines(out);
   // RFC 4180: the whole field quoted, inner quotes doubled.
   EXPECT_EQ(lines[3],
-            "table2,\"broken,\"\"set\"\"\",,error,,false,,,,small,"
+            "table2,\"broken,\"\"set\"\"\",,error,,false,,,,,small,"
             "workload truth build failed");
 }
 
@@ -556,11 +559,11 @@ TEST(RunCacheTest, TruthOracleIsBuiltOncePerDataset) {
   const Digraph graph = MakeDataset(*spec);
 
   RunCache cache;
-  const ReachabilityOracle* first = cache.TruthOracle("amaze", graph);
+  const ReachabilityOracle* first = cache.TruthOracle("amaze", graph, 1);
   ASSERT_NE(first, nullptr);
   EXPECT_TRUE(first->Reachable(0, 0));
   // Second lookup returns the same object, not a rebuild.
-  EXPECT_EQ(cache.TruthOracle("amaze", graph), first);
+  EXPECT_EQ(cache.TruthOracle("amaze", graph, 1), first);
 }
 
 TEST(RunCacheTest, StatsOnlyExperimentReusesEarlierBuild) {

@@ -1,0 +1,170 @@
+// The threading contract, enforced: for every registered oracle, building
+// with 1, 2, and 8 construction threads must produce a byte-identical index
+// (checked exactly where label storage is exposed, and via BuildStats
+// integers + query answers everywhere) — see docs/ARCHITECTURE.md,
+// "Threading contract". The graphs are large enough to push the parallel
+// sweeps past their sequential-fallback cutoffs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "baselines/factory.h"
+#include "baselines/twohop.h"
+#include "core/distribution_labeling.h"
+#include "core/hierarchical_labeling.h"
+#include "core/oracle.h"
+#include "graph/generators.h"
+#include "graph/transitive_closure.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+BuildOptions WithThreads(int threads) {
+  BuildOptions options;
+  options.threads = threads;
+  return options;
+}
+
+// Sampled query pairs: deterministic, spread over the id space.
+std::vector<std::pair<Vertex, Vertex>> SamplePairs(size_t n, size_t count,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(rng.Uniform(n)),
+                       static_cast<Vertex>(rng.Uniform(n)));
+  }
+  return pairs;
+}
+
+class BuildDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BuildDeterminismTest, StatsAndAnswersAreThreadCountInvariant) {
+  const std::string method = GetParam();
+  // Dense enough that DL/PL frontiers exceed the level-BFS parallel cutoff
+  // and 2HOP in-sides exceed the endpoint cutoff.
+  const Digraph dag = RandomDag(600, 3000, /*seed=*/7);
+  const auto pairs = SamplePairs(dag.num_vertices(), 2000, /*seed=*/13);
+
+  std::unique_ptr<ReachabilityOracle> reference = MakeOracle(method);
+  ASSERT_NE(reference, nullptr);
+  ASSERT_TRUE(reference->Build(dag, WithThreads(1)).ok());
+  EXPECT_EQ(reference->build_stats().threads, 1);
+
+  for (const int threads : {2, 8}) {
+    std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(method);
+    ASSERT_NE(oracle, nullptr);
+    ASSERT_TRUE(oracle->Build(dag, WithThreads(threads)).ok())
+        << method << " with " << threads << " threads";
+    EXPECT_EQ(oracle->build_stats().threads, threads);
+    // The integer stats are exact mirror images of the stored index, so
+    // equality here means the index has the same size in integers AND in
+    // (capacity-independent) content metrics.
+    EXPECT_EQ(oracle->build_stats().index_integers,
+              reference->build_stats().index_integers)
+        << method << " with " << threads << " threads";
+    EXPECT_EQ(oracle->IndexSizeIntegers(), reference->IndexSizeIntegers());
+    for (const auto& [u, v] : pairs) {
+      ASSERT_EQ(oracle->Reachable(u, v), reference->Reachable(u, v))
+          << method << " threads=" << threads << " pair (" << u << ", " << v
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, BuildDeterminismTest,
+    ::testing::ValuesIn(AllOracleNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;  // "GL*" etc. are not valid test names.
+      for (char& c : name) {
+        if (c == '*') c = 'x';
+      }
+      return name;
+    });
+
+// Where label storage is exposed, check byte-level equality outright.
+
+TEST(BuildDeterminismExactTest, DistributionLabelingIsByteIdentical) {
+  const Digraph dag = RandomDag(800, 4000, 21);
+  DistributionLabelingOracle sequential;
+  ASSERT_TRUE(sequential.Build(dag, WithThreads(1)).ok());
+  for (const int threads : {2, 8}) {
+    DistributionLabelingOracle parallel;
+    ASSERT_TRUE(parallel.Build(dag, WithThreads(threads)).ok());
+    EXPECT_EQ(parallel.order(), sequential.order()) << threads;
+    EXPECT_TRUE(parallel.labeling() == sequential.labeling())
+        << "DL labels differ at threads=" << threads;
+  }
+}
+
+TEST(BuildDeterminismExactTest, HierarchicalLabelingIsByteIdentical) {
+  const Digraph dag = RandomDag(800, 4000, 22);
+  HierarchicalLabelingOracle sequential;
+  ASSERT_TRUE(sequential.Build(dag, WithThreads(1)).ok());
+  for (const int threads : {2, 8}) {
+    HierarchicalLabelingOracle parallel;
+    ASSERT_TRUE(parallel.Build(dag, WithThreads(threads)).ok());
+    EXPECT_TRUE(parallel.labeling() == sequential.labeling())
+        << "HL labels differ at threads=" << threads;
+  }
+}
+
+TEST(BuildDeterminismExactTest, TwoHopLabelingIsByteIdentical) {
+  const Digraph dag = RandomDag(400, 1600, 23);
+  TwoHopOracle sequential;
+  ASSERT_TRUE(sequential.Build(dag, WithThreads(1)).ok());
+  for (const int threads : {2, 8}) {
+    TwoHopOracle parallel;
+    ASSERT_TRUE(parallel.Build(dag, WithThreads(threads)).ok());
+    EXPECT_TRUE(parallel.labeling() == sequential.labeling())
+        << "2HOP labels differ at threads=" << threads;
+  }
+}
+
+TEST(BuildDeterminismExactTest, TransitiveClosureRowsAreBitIdentical) {
+  for (const uint64_t seed : {3u, 4u}) {
+    const Digraph dag = RandomDag(700, 3500, seed);
+    const auto sequential = TransitiveClosure::Compute(dag, 0, 1);
+    ASSERT_TRUE(sequential.ok());
+    for (const int threads : {2, 8}) {
+      const auto parallel = TransitiveClosure::Compute(dag, 0, threads);
+      ASSERT_TRUE(parallel.ok());
+      ASSERT_EQ(parallel->num_vertices(), sequential->num_vertices());
+      for (Vertex v = 0; v < dag.num_vertices(); ++v) {
+        ASSERT_TRUE(parallel->Row(v) == sequential->Row(v))
+            << "row " << v << " differs at threads=" << threads;
+      }
+    }
+  }
+}
+
+// The paper-example graph, end to end: every oracle, full pair matrix.
+TEST(BuildDeterminismExactTest, PaperExampleFullMatrixAcrossThreadCounts) {
+  const Digraph dag = testing_util::PaperFigure1Graph();
+  const size_t n = dag.num_vertices();
+  for (const std::string& method : AllOracleNames()) {
+    std::unique_ptr<ReachabilityOracle> reference = MakeOracle(method);
+    ASSERT_TRUE(reference->Build(dag, WithThreads(1)).ok()) << method;
+    std::unique_ptr<ReachabilityOracle> parallel = MakeOracle(method);
+    ASSERT_TRUE(parallel->Build(dag, WithThreads(8)).ok()) << method;
+    EXPECT_EQ(parallel->build_stats().index_integers,
+              reference->build_stats().index_integers)
+        << method;
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = 0; v < n; ++v) {
+        ASSERT_EQ(parallel->Reachable(u, v), reference->Reachable(u, v))
+            << method << " pair (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,167 @@
+// Unit coverage for the parallel runtime: chunk decomposition, exact-once
+// index coverage for any thread count, the sequential-ordering guarantee,
+// exception propagation, nesting, and REACH_THREADS resolution.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  int calls = 0;
+  ParallelFor(0, 0, 4, 8, [&](size_t) { ++calls; });
+  ParallelFor(10, 10, 4, 8, [&](size_t) { ++calls; });
+  ParallelFor(10, 5, 4, 8, [&](size_t) { ++calls; });  // end < begin.
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInlineInOrder) {
+  std::vector<size_t> seen;
+  ParallelFor(3, 9, 100, 8, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kN = 10000;
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> counts(kN);
+    ParallelFor(0, kN, 7, threads, [&](size_t i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInAscendingOrder) {
+  std::vector<size_t> seen;
+  ParallelFor(0, 1000, 16, 1, [&](size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(ParallelChunksTest, ChunksPartitionTheRange) {
+  std::mutex mu;
+  std::vector<ChunkInfo> chunks;
+  ParallelChunks(5, 47, 10, 4, [&](const ChunkInfo& chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+  });
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkInfo& a, const ChunkInfo& b) {
+              return a.index < b.index;
+            });
+  ASSERT_EQ(chunks.size(), 5u);  // ceil(42 / 10).
+  size_t expected_begin = 5;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].index, c);
+    EXPECT_EQ(chunks[c].begin, expected_begin);
+    EXPECT_EQ(chunks[c].end, std::min<size_t>(47, expected_begin + 10));
+    EXPECT_LT(chunks[c].worker, 4u);
+    expected_begin = chunks[c].end;
+  }
+  EXPECT_EQ(chunks.back().end, 47u);
+}
+
+TEST(ParallelChunksTest, ZeroGrainIsTreatedAsOne) {
+  std::atomic<int> calls{0};
+  ParallelChunks(0, 5, 0, 2, [&](const ChunkInfo& chunk) {
+    EXPECT_EQ(chunk.end, chunk.begin + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesSequential) {
+  EXPECT_THROW(ParallelFor(0, 100, 8, 1,
+                           [](size_t i) {
+                             if (i == 37) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesParallel) {
+  try {
+    ParallelFor(0, 10000, 4, 8, [](size_t i) {
+      if (i == 4321) throw std::runtime_error("parallel boom");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "parallel boom");
+  }
+  // The runtime stays usable after a failed region.
+  std::atomic<int> calls{0};
+  ParallelFor(0, 100, 4, 8, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<std::atomic<int>> counts(64 * 64);
+  ParallelFor(0, 64, 1, 8, [&](size_t outer) {
+    ParallelFor(0, 64, 4, 8, [&](size_t inner) {
+      counts[outer * 64 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (auto& count : counts) ASSERT_EQ(count.load(), 1);
+}
+
+TEST(DefaultBuildThreadsTest, HonorsValidReachThreads) {
+  ASSERT_EQ(setenv("REACH_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultBuildThreads(), 3);
+  ASSERT_EQ(setenv("REACH_THREADS", "1", 1), 0);
+  EXPECT_EQ(DefaultBuildThreads(), 1);
+  unsetenv("REACH_THREADS");
+}
+
+TEST(DefaultBuildThreadsTest, FallsBackOnMissingOrMalformedEnv) {
+  unsetenv("REACH_THREADS");
+  const int hardware = DefaultBuildThreads();
+  EXPECT_GE(hardware, 1);
+  for (const char* bad : {"abc", "0", "-4", "3.5", "", "99999"}) {
+    ASSERT_EQ(setenv("REACH_THREADS", bad, 1), 0);
+    EXPECT_EQ(DefaultBuildThreads(), hardware) << "REACH_THREADS=" << bad;
+  }
+  unsetenv("REACH_THREADS");
+}
+
+TEST(ThreadPoolTest, GrowsButNeverShrinks) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.num_workers(), 2u);
+  pool.EnsureWorkers(1);
+  EXPECT_EQ(pool.num_workers(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == 100) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load() == 100; });
+  }  // Destructor joins cleanly with an empty queue.
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace reach

@@ -2,7 +2,7 @@
 // binary snapshot), build any oracle from the registry, and answer queries
 // from the command line or stdin.
 //
-//   reach_cli GRAPH [--oracle=DL] [--stats] [u v]...
+//   reach_cli GRAPH [--oracle=DL] [--threads=N] [--stats] [u v]...
 //   echo "0 5\n3 7" | reach_cli graph.txt --oracle=HL
 //
 // Cyclic graphs are fine: the tool condenses SCCs before indexing.
@@ -24,17 +24,22 @@
 
 namespace {
 
-void Usage() {
-  std::fprintf(stderr,
-               "usage: reach_cli GRAPH [--oracle=NAME] [--stats] [u v]...\n"
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: reach_cli GRAPH [--oracle=NAME] [--threads=N] "
+               "[--stats] [u v]...\n"
                "  GRAPH          edge list (.txt), .gra adjacency, or .bin\n"
                "  --oracle=NAME  index to build (default DL); one of:\n"
                "                 ");
   for (const std::string& name : reach::AllOracleNames()) {
-    std::fprintf(stderr, "%s ", name.c_str());
+    std::fprintf(out, "%s ", name.c_str());
   }
-  std::fprintf(stderr,
-               "\n  --stats        print graph/index statistics\n"
+  std::fprintf(out,
+               "\n  --threads=N    construction worker threads (default: "
+               "REACH_THREADS env,\n"
+               "                 else hardware concurrency; never changes "
+               "the index)\n"
+               "  --stats        print graph/index statistics\n"
                "  u v            query pairs; if none given, pairs are read "
                "from stdin\n");
 }
@@ -53,12 +58,22 @@ bool ParseVertex(const std::string& token, reach::Vertex* out) {
 
 int main(int argc, char** argv) {
   using namespace reach;
+  // Help is a first-class path: it preempts every validation error, so a
+  // user can always reach the usage text with exit code 0.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    Usage();
+    Usage(stderr);
     return 2;
   }
   std::string graph_path;
   std::string oracle_name = "DL";
+  BuildOptions build_options;
   bool stats = false;
   std::vector<std::pair<Vertex, Vertex>> pairs;
   std::vector<Vertex> positional;
@@ -66,31 +81,40 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--oracle=", 0) == 0) {
       oracle_name = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      uint64_t value = 0;
+      if (!ParseDecimalUint64(arg.substr(10), &value) || value < 1 ||
+          value > 1024) {
+        std::fprintf(stderr,
+                     "error: --threads expects an integer in [1, 1024], "
+                     "got '%s'\n",
+                     arg.substr(10).c_str());
+        Usage(stderr);
+        return 2;
+      }
+      build_options.threads = static_cast<int>(value);
     } else if (arg == "--stats") {
       stats = true;
-    } else if (arg == "--help" || arg == "-h") {
-      Usage();
-      return 0;
     } else if (graph_path.empty()) {
       graph_path = arg;
     } else {
       Vertex value = 0;
       if (!ParseVertex(arg, &value)) {
         std::fprintf(stderr, "error: '%s' is not a vertex id\n", arg.c_str());
-        Usage();
+        Usage(stderr);
         return 2;
       }
       positional.push_back(value);
     }
   }
   if (graph_path.empty()) {
-    Usage();
+    Usage(stderr);
     return 2;
   }
   if (positional.size() % 2 != 0) {
     std::fprintf(stderr, "error: query vertices must come in pairs (got %zu)\n",
                  positional.size());
-    Usage();
+    Usage(stderr);
     return 2;
   }
   for (size_t i = 0; i + 1 < positional.size(); i += 2) {
@@ -106,12 +130,13 @@ int main(int argc, char** argv) {
   auto oracle = MakeOracle(oracle_name);
   if (oracle == nullptr) {
     std::fprintf(stderr, "unknown oracle '%s'\n", oracle_name.c_str());
-    Usage();
+    Usage(stderr);
     return 2;
   }
 
   Timer build_timer;
-  auto index = ReachabilityIndex::Build(*graph, std::move(oracle));
+  auto index = ReachabilityIndex::Build(*graph, std::move(oracle),
+                                        build_options);
   if (!index.ok()) {
     std::fprintf(stderr, "index build failed: %s\n",
                  index.status().ToString().c_str());
@@ -124,12 +149,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "graph: %zu vertices, %zu edges, %zu SCCs\n"
                  "index: %s, %llu integers, %llu bytes, built in %.1f ms "
-                 "(%.1f ms incl. condensation)\n",
+                 "(%.1f ms incl. condensation) with %d thread%s\n",
                  graph->num_vertices(), graph->num_edges(),
                  index->num_components(), index->oracle().name().c_str(),
                  static_cast<unsigned long long>(build_stats.index_integers),
                  static_cast<unsigned long long>(build_stats.index_bytes),
-                 build_stats.build_millis, build_timer.ElapsedMillis());
+                 build_stats.build_millis, build_timer.ElapsedMillis(),
+                 build_stats.threads, build_stats.threads == 1 ? "" : "s");
   }
 
   auto answer = [&](Vertex u, Vertex v) {
