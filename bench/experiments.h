@@ -77,6 +77,7 @@ class RunCache {
 enum class ExperimentKind {
   kInventory,  // Table 1: the dataset listing (no methods, no metric).
   kTable,      // datasets x methods under one metric.
+  kServe,      // datasets x methods measured through a loopback server.
 };
 
 /// One paper table/figure: what it runs and what the paper says it shows.
@@ -91,9 +92,19 @@ struct ExperimentSpec {
   // > 0: replaces the tier's default build budget (Table 4 needs 200 s for
   // 2HOP on arxiv, mirroring the paper's own 131.9 s entry).
   double budget_seconds_override = 0;
+  // > 0: replaces the tier's default query count (serve_quick ships a
+  // fixed 10k-query batch by default).
+  size_t num_queries_override = 0;
+  // Non-empty: the experiment's rows are this subset of its tier instead
+  // of the whole tier (keeps the serve throughput experiment cheap).
+  std::vector<std::string> dataset_subset;
+  // Non-empty: default method columns when --methods is not given
+  // (otherwise the paper columns).
+  std::vector<std::string> default_methods;
 };
 
-/// All experiments, in paper order: table1..table7, fig3, fig4.
+/// All experiments, in paper order: table1..table7, fig3, fig4, then the
+/// serving-layer experiments (serve_quick).
 const std::vector<ExperimentSpec>& ExperimentRegistry();
 
 /// The registry ids, in registry order.
@@ -105,8 +116,9 @@ StatusOr<ExperimentSpec> FindExperiment(const std::string& id);
 /// Tier defaults plus the spec's overrides (e.g. Table 4's budget).
 BenchConfig DefaultConfigFor(const ExperimentSpec& spec);
 
-/// The dataset rows of the experiment (before --datasets filtering).
-const std::vector<DatasetSpec>& DatasetsFor(const ExperimentSpec& spec);
+/// The dataset rows of the experiment (before --datasets filtering): the
+/// spec's tier, narrowed to dataset_subset when the spec names one.
+std::vector<DatasetSpec> DatasetsFor(const ExperimentSpec& spec);
 
 /// True when the experiment has a row for `dataset` (the inventory spans
 /// both tiers). Used to fail fast when --datasets names only datasets of

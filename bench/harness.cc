@@ -102,6 +102,8 @@ std::string MetricName(Metric metric) {
       return "construction_ms";
     case Metric::kIndexIntegers:
       return "index_integers";
+    case Metric::kServeQps:
+      return "serve_qps";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class Metric {
   kQueryMillis,         // Total ms normalized to 100,000 queries.
   kConstructionMillis,  // Index build wall time.
   kIndexIntegers,       // Stored integers (Figures 3/4).
+  kServeQps,            // Batched loopback queries/second (serve_quick).
 };
 
 /// Which workload drives kQueryMillis.

@@ -44,6 +44,11 @@ void TextTableReporter::BeginExperiment(const ExperimentSpec& spec,
                  config.num_queries);
   } else if (spec.metric == Metric::kConstructionMillis) {
     std::fprintf(out_, "metric: index construction ms\n");
+  } else if (spec.metric == Metric::kServeQps) {
+    std::fprintf(out_,
+                 "metric: loopback queries/second, one %zu-query BATCH "
+                 "frame\n",
+                 config.num_queries);
   } else {
     std::fprintf(out_, "metric: index size in number of stored integers\n");
   }
@@ -77,6 +82,9 @@ void TextTableReporter::AddRecord(const RunRecord& record) {
       case Metric::kConstructionMillis:
       case Metric::kQueryMillis:
         std::fprintf(out_, "%12.1f", record.value);
+        break;
+      case Metric::kServeQps:
+        std::fprintf(out_, "%12.0f", record.value);
         break;
       case Metric::kIndexIntegers:
         std::fprintf(out_, "%12" PRIu64,
@@ -256,13 +264,15 @@ void JsonReporter::EndExperiment() {
   writer_.BeginObject();
   writer_.KeyString("id", spec_.id);
   writer_.KeyString("title", spec_.title);
-  writer_.KeyString(
-      "kind",
-      spec_.kind == ExperimentKind::kInventory ? "inventory" : "table");
-  if (spec_.kind == ExperimentKind::kTable) {
+  writer_.KeyString("kind",
+                    spec_.kind == ExperimentKind::kInventory ? "inventory"
+                    : spec_.kind == ExperimentKind::kServe   ? "serve"
+                                                             : "table");
+  if (spec_.kind != ExperimentKind::kInventory) {
     writer_.KeyString("metric", MetricName(spec_.metric));
     writer_.KeyString("workload", WorkloadName(spec_.workload));
-    if (spec_.metric == Metric::kQueryMillis) {
+    if (spec_.metric == Metric::kQueryMillis ||
+        spec_.metric == Metric::kServeQps) {
       writer_.KeyUint("num_queries", config_.num_queries);
     }
     writer_.KeyDouble("budget_seconds", config_.build_time_budget_seconds);

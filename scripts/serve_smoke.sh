@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving layer, run by CTest (and thus by
+# every CI job that runs the integration label, including the sanitizer
+# matrix): start reach_serve on an ephemeral port, run a scripted
+# reach_client batch, assert the answers and the STATS block, then SHUTDOWN
+# and require a clean (exit 0) drain.
+#
+#   serve_smoke.sh <path-to-reach_serve> <path-to-reach_client>
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <reach_serve> <reach_client>" >&2
+  exit 2
+fi
+SERVE=$1
+CLIENT=$2
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke FAILED: $*" >&2
+  echo "--- server stderr ---" >&2
+  cat "$workdir/server.err" >&2 || true
+  exit 1
+}
+
+# A graph whose reachability is obvious by eye: the chain 0->1->2->3->4
+# plus a shortcut 1->3 and an isolated vertex 5.
+cat > "$workdir/graph.txt" <<'EOF'
+# smoke graph
+0 1
+1 2
+2 3
+3 4
+1 3
+EOF
+printf '5 5\n' >> "$workdir/graph.txt"
+# "5 5" is a self-loop; the builder keeps the vertex, drops the loop.
+
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=2 --workers=2 \
+  > "$workdir/server.out" 2> "$workdir/server.err" &
+server_pid=$!
+
+# Wait for the readiness line (the server prints "LISTENING <port>" once
+# the index is built and the listener is bound).
+port=""
+for _ in $(seq 1 100); do
+  port=$(awk '/^LISTENING /{print $2}' "$workdir/server.out" 2>/dev/null)
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited before listening"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "no LISTENING line within 10s"
+
+# Scripted batch: six queries whose answers are known by construction,
+# plus an out-of-range pair that must answer ERR in place (keeping the
+# frame aligned) without killing the server.
+printf '0 4\n4 0\n1 3\n5 0\n0 5\n2 2\n9 9\n' \
+  | "$CLIENT" --port="$port" --stats > "$workdir/client.out" \
+  || fail "client batch exited non-zero"
+
+expected_answers='1
+0
+1
+0
+0
+1
+ERR vertex out of range'
+answers=$(head -7 "$workdir/client.out")
+if [ "$answers" != "$expected_answers" ]; then
+  fail "batch answers mismatch: got [$answers]"
+fi
+grep -q '^method DL$' "$workdir/client.out" || fail "STATS missing method"
+grep -q '^queries 7$' "$workdir/client.out" || fail "STATS missing queries"
+grep -q '^batches 1$' "$workdir/client.out" || fail "STATS missing batches"
+kill -0 "$server_pid" 2>/dev/null || fail "server died on malformed input"
+
+# Graceful drain: SHUTDOWN answers BYE and the server exits 0.
+bye=$("$CLIENT" --port="$port" --shutdown < /dev/null) \
+  || fail "shutdown client exited non-zero"
+[ "$bye" = "BYE" ] || fail "expected BYE, got '$bye'"
+
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] || fail "server exit code $server_status"
+grep -q '^drained after ' "$workdir/server.err" \
+  || fail "server did not report a drain"
+
+echo "serve_smoke OK (port $port)"

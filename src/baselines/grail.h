@@ -35,6 +35,8 @@ class GrailOracle : public ReachabilityOracle {
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override { return "GL"; }
+  /// The guided DFS reuses the mark/stack scratch below across queries.
+  bool ConcurrentQuerySafe() const override { return false; }
   uint64_t IndexSizeIntegers() const override {
     // Two integers (lo, hi) per vertex per labeling.
     return static_cast<uint64_t>(2) * options_.num_labelings *

@@ -45,6 +45,10 @@ class OnlineSearchOracle : public ReachabilityOracle {
   uint64_t IndexSizeIntegers() const override { return 0; }
   uint64_t IndexSizeBytes() const override { return 0; }
 
+  /// Queries mutate the shared scratch above; concurrent callers must
+  /// serialize (see ReachabilityOracle::ConcurrentQuerySafe).
+  bool ConcurrentQuerySafe() const override { return false; }
+
  private:
   bool BfsQuery(Vertex u, Vertex v) const;
   bool DfsQuery(Vertex u, Vertex v) const;

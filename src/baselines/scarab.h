@@ -40,6 +40,8 @@ class ScarabOracle : public ReachabilityOracle {
   bool Reachable(Vertex u, Vertex v) const override;
 
   std::string name() const override { return display_name_; }
+  /// The epsilon-bounded local searches reuse per-query scratch.
+  bool ConcurrentQuerySafe() const override { return false; }
   uint64_t IndexSizeIntegers() const override;
   uint64_t IndexSizeBytes() const override;
 

@@ -67,9 +67,11 @@ struct BuildStats {
 ///    Construction may fan work out internally across BuildOptions.threads
 ///    workers, but that parallelism never escapes the Build() call.
 ///  - After a successful Build(), Reachable()/IndexSize*/build_stats() are
-///    const and safe to call concurrently from any number of threads
-///    (exception: OnlineSearchOracle's Reachable mutates per-query scratch
-///    and is single-threaded; see its header).
+///    const and — when ConcurrentQuerySafe() is true — safe to call
+///    concurrently from any number of threads. Oracles that answer by
+///    (partial) traversal over reused scratch (online search, GRAIL,
+///    SCARAB) return false there; concurrent callers such as the server
+///    serialize their queries behind a mutex.
 class ReachabilityOracle {
  public:
   virtual ~ReachabilityOracle() = default;
@@ -91,6 +93,13 @@ class ReachabilityOracle {
 
   /// Short method name as used in the paper's tables ("DL", "HL", "GL", ...).
   virtual std::string name() const = 0;
+
+  /// True when Reachable() may be called concurrently from multiple threads
+  /// after a successful Build (the default; labeling-based indexes are
+  /// read-only at query time). The online-search oracles override this to
+  /// false because they reuse per-query scratch — concurrent callers (the
+  /// server's sessions) must then serialize queries themselves.
+  virtual bool ConcurrentQuerySafe() const { return true; }
 
   /// Index size in number of stored integers — the metric of Figures 3/4.
   virtual uint64_t IndexSizeIntegers() const = 0;

@@ -4,12 +4,14 @@ namespace reach {
 
 StatusOr<ReachabilityIndex> ReachabilityIndex::Build(
     const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
-    const BuildOptions& options) {
+    const BuildOptions& options, BuildStats* stats_out) {
   if (oracle == nullptr) {
     return Status::InvalidArgument("oracle must not be null");
   }
   Condensation condensation = CondenseToDag(g);
-  REACH_RETURN_IF_ERROR(oracle->Build(condensation.dag, options));
+  const Status status = oracle->Build(condensation.dag, options);
+  if (stats_out != nullptr) *stats_out = oracle->build_stats();
+  REACH_RETURN_IF_ERROR(status);
   return ReachabilityIndex(std::move(condensation), std::move(oracle));
 }
 

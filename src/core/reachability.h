@@ -26,9 +26,15 @@ class ReachabilityIndex {
   /// Condenses `g`, builds `oracle` on the condensation (with `options`
   /// forwarded to ReachabilityOracle::Build, e.g. the thread count), and
   /// returns the ready-to-query index.
+  ///
+  /// `stats_out`, when non-null, receives the oracle's BuildStats after the
+  /// build attempt — including on failure, when the consumed oracle (and
+  /// with it build_stats()) is destroyed before the caller sees the status.
+  /// The server and the serve benchmark report budget-exceeded builds this
+  /// way.
   static StatusOr<ReachabilityIndex> Build(
       const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
-      const BuildOptions& options = {});
+      const BuildOptions& options = {}, BuildStats* stats_out = nullptr);
 
   /// True iff a directed path from u to v exists in the original graph
   /// (trivially true when u == v or both lie in one SCC).

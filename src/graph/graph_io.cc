@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -7,11 +8,18 @@
 #include <sstream>
 #include <string>
 
+#include "util/strict_parse.h"
+
 namespace reach {
 
 namespace {
 
 constexpr uint64_t kBinaryMagic = 0x52454143483031ULL;  // "REACH01"
+
+// Neighbor rows of a hostile binary file are read in bounded slices so a
+// forged degree cannot make us allocate its full claimed size before the
+// stream runs dry (see ReadBinary).
+constexpr size_t kBinaryRowSliceEntries = 1 << 16;
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -28,11 +36,22 @@ StatusOr<Digraph> ReadEdgeList(std::istream& in) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
-    uint64_t u;
-    uint64_t v;
-    if (!(ls >> u >> v)) {
+    std::string u_token;
+    std::string v_token;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    // Strict per-token parse (digits only, whole token): istream's uint64
+    // extraction would silently accept signs and hex/octal prefixes.
+    if (!(ls >> u_token >> v_token) || !ParseDecimalUint64(u_token, &u) ||
+        !ParseDecimalUint64(v_token, &v)) {
       return Status::Corruption("edge list line " + std::to_string(line_no) +
                                 ": expected 'u v', got '" + line + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Status::Corruption("edge list line " + std::to_string(line_no) +
+                                ": trailing '" + extra + "' after 'u v' in '" +
+                                line + "'");
     }
     if (u > UINT32_MAX || v > UINT32_MAX) {
       return Status::InvalidArgument("vertex id exceeds uint32 at line " +
@@ -161,23 +180,64 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   if (!in) return Status::Corruption("truncated binary graph header");
+  // The header is untrusted: every count is validated before it sizes an
+  // allocation, so a corrupt or hostile file fails with Corruption instead
+  // of an OOM. Vertex ids are dense uint32, and a simple digraph has at
+  // most n*(n-1) edges.
+  if (n > static_cast<uint64_t>(UINT32_MAX) + 1) {
+    return Status::Corruption("binary graph vertex count " +
+                              std::to_string(n) + " exceeds uint32 id space");
+  }
+  if (m > 0 && (n == 0 || (m - 1) / n >= n)) {
+    return Status::Corruption("binary graph edge count " + std::to_string(m) +
+                              " impossible for " + std::to_string(n) +
+                              " vertices");
+  }
   std::vector<Edge> edges;
-  edges.reserve(m);
+  // Reserve only what the stream has plausibly backed so far; a forged m
+  // must not pre-allocate memory the rows never deliver. The vector's
+  // amortized growth covers honest large graphs.
+  edges.reserve(static_cast<size_t>(
+      std::min<uint64_t>(m, kBinaryRowSliceEntries)));
+  std::vector<Vertex> slice;
   for (uint64_t v = 0; v < n; ++v) {
     uint32_t deg = 0;
     in.read(reinterpret_cast<char*>(&deg), sizeof(deg));
     if (!in) return Status::Corruption("truncated binary graph row");
-    std::vector<Vertex> nbrs(deg);
-    in.read(reinterpret_cast<char*>(nbrs.data()),
-            static_cast<std::streamsize>(deg * sizeof(Vertex)));
-    if (!in) return Status::Corruption("truncated binary graph row data");
-    for (Vertex w : nbrs) {
-      if (w >= n) return Status::Corruption("binary graph neighbor range");
-      edges.push_back(Edge{static_cast<Vertex>(v), w});
+    // A row of a simple graph cannot list more neighbors than vertices,
+    // and the rows together cannot exceed the header's edge count. Both
+    // checks run before any deg-sized work.
+    if (deg > n) {
+      return Status::Corruption("binary graph row " + std::to_string(v) +
+                                " degree " + std::to_string(deg) +
+                                " exceeds vertex count " + std::to_string(n));
+    }
+    if (deg > m - edges.size()) {
+      return Status::Corruption("binary graph rows exceed header edge count " +
+                                std::to_string(m));
+    }
+    // Bounded slices: a truncated file wastes at most one slice of
+    // allocation before the read failure surfaces.
+    for (size_t remaining = deg; remaining > 0;) {
+      const size_t chunk = std::min(remaining, kBinaryRowSliceEntries);
+      slice.resize(chunk);
+      in.read(reinterpret_cast<char*>(slice.data()),
+              static_cast<std::streamsize>(chunk * sizeof(Vertex)));
+      if (!in) return Status::Corruption("truncated binary graph row data");
+      for (const Vertex w : slice) {
+        if (w >= n) return Status::Corruption("binary graph neighbor range");
+        edges.push_back(Edge{static_cast<Vertex>(v), w});
+      }
+      remaining -= chunk;
     }
   }
   if (edges.size() != m) {
     return Status::Corruption("binary graph edge count mismatch");
+  }
+  // WriteBinary emits nothing after the last row; anything further is not a
+  // graph this reader produced.
+  if (in.peek() != std::istream::traits_type::eof()) {
+    return Status::Corruption("binary graph has trailing bytes after rows");
   }
   return Digraph::FromEdges(n, std::move(edges));
 }

@@ -1,0 +1,232 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "baselines/factory.h"
+#include "util/thread_pool.h"
+
+namespace reach {
+namespace server {
+
+namespace {
+
+/// send() the whole buffer, retrying partial writes and EINTR. MSG_NOSIGNAL
+/// turns a peer that vanished mid-response into an error return instead of
+/// a process-killing SIGPIPE. Returns false when the connection is gone.
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReachServer::ReachServer() = default;
+
+ReachServer::~ReachServer() {
+  if (started_) Stop();
+}
+
+Status ReachServer::Start(const Digraph& graph,
+                          const ServerOptions& options) {
+  if (started_) {
+    return Status::InvalidArgument("server already started");
+  }
+  std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(options.method);
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("unknown oracle '" + options.method +
+                                   "'");
+  }
+  oracle->set_budget(options.budget);
+  BuildOptions build_options;
+  build_options.threads = options.build_threads;
+  StatusOr<ReachabilityIndex> index = ReachabilityIndex::Build(
+      graph, std::move(oracle), build_options, &build_stats_);
+  if (!index.ok()) return index.status();
+  index_.emplace(std::move(*index));
+
+  context_.index = &*index_;
+  context_.method = options.method;
+  context_.graph_vertices = graph.num_vertices();
+  context_.graph_edges = graph.num_edges();
+  context_.stats = &stats_;
+  context_.limits = options.limits;
+  context_.query_mutex =
+      index_->oracle().ConcurrentQuerySafe() ? nullptr : &query_mutex_;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" + options.host +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IOError(
+        "bind " + options.host + ":" + std::to_string(options.port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+
+  // One pool slot for the accept loop plus `workers` concurrent handlers.
+  // Handler tasks block in recv, so they occupy their worker for the
+  // connection's lifetime — the pool is sized up front to match.
+  const int workers = options.workers < 1 ? 1 : options.workers;
+  ThreadPool::Shared().EnsureWorkers(static_cast<size_t>(workers) + 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_handlers_;  // The accept loop counts as an in-flight task.
+  }
+  ThreadPool::Shared().Submit([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ReachServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_.load(), nullptr, nullptr,
+                             SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (drain) or fatal: stop accepting.
+    }
+    // A peer that stops reading must not park a handler in send() forever
+    // and stall the drain; time the write out and drop the connection.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) {
+        ::close(fd);
+        continue;
+      }
+      session_fds_.insert(fd);
+      ++active_handlers_;
+    }
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    ThreadPool::Shared().Submit([this, fd] { HandleConnection(fd); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    accept_done_ = true;
+    ::close(listen_fd_.exchange(-1));
+    --active_handlers_;
+    const bool need_drain = !draining_;
+    lock.unlock();
+    cv_.notify_all();
+    // The accept loop can end without SHUTDOWN/Stop (listener error, or
+    // RequestStopFromSignal); finish the drain on this thread then.
+    if (need_drain) InitiateDrain();
+  }
+}
+
+void ReachServer::HandleConnection(int fd) {
+  Session session(&context_);
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or drain's shutdown(SHUT_RD).
+    response.clear();
+    const Session::State state =
+        session.Feed(std::string_view(buffer, static_cast<size_t>(n)),
+                     &response);
+    const bool sent = response.empty() || SendAll(fd, response);
+    if (state == Session::State::kShutdownRequested) {
+      // An accepted SHUTDOWN drains the server even when the client went
+      // away before reading BYE — the command, not the farewell delivery,
+      // is the contract.
+      InitiateDrain();
+      break;
+    }
+    if (!sent || state == Session::State::kClosed) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session_fds_.erase(fd);
+    --active_handlers_;
+  }
+  ::close(fd);
+  cv_.notify_all();
+}
+
+void ReachServer::InitiateDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  // Unblock the accept loop; it observes the shutdown as an accept error.
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+  // Unblock every idle session: recv returns 0 and the handler flushes and
+  // closes. Commands already received keep being answered — drain, not
+  // abort.
+  for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+void ReachServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return draining_ && accept_done_ && active_handlers_ == 0;
+  });
+}
+
+void ReachServer::Stop() {
+  if (!started_) return;
+  InitiateDrain();
+  Wait();
+}
+
+void ReachServer::RequestStopFromSignal() {
+  // Only async-signal-safe calls here: shutdown(2) on a fixed fd. The
+  // accept loop unblocks and completes the drain with proper locking.
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+}
+
+}  // namespace server
+}  // namespace reach

@@ -1,0 +1,135 @@
+// Long-lived reachability oracle server: pays the index construction cost
+// once, then answers batched queries over loopback/TCP until a client sends
+// SHUTDOWN (or Stop() is called). This is the serving layer of the ROADMAP:
+// the index amortizes across millions of requests instead of one process
+// per query batch.
+//
+// Concurrency model (reuses the PR 3 runtime, util/thread_pool.h):
+//  - Start() builds the oracle synchronously (SCC condensation + BuildIndex
+//    with BuildOptions.threads workers), binds, then submits the accept
+//    loop to ThreadPool::Shared().
+//  - Each accepted connection runs as one pool task: blocking recv ->
+//    Session::Feed -> send, until EOF, a protocol-fatal error, or drain.
+//    Up to `options.workers` connections are served concurrently; later
+//    connections queue in the pool (EnsureWorkers sizes it so the accept
+//    loop can never starve the handlers).
+//  - Queries on the built index are const and lock-free for oracles whose
+//    ConcurrentQuerySafe() is true; otherwise every session shares one
+//    query mutex (core/oracle.h).
+//
+// Graceful drain: on SHUTDOWN the listener stops accepting, every open
+// connection is shut down for reading (already-received commands are still
+// answered and flushed), and Wait() returns once the last handler exits.
+// No task is ever cancelled, so the shared pool's drain-at-exit contract
+// holds.
+
+#ifndef REACH_SERVER_SERVER_H_
+#define REACH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/reachability.h"
+#include "graph/digraph.h"
+#include "server/session.h"
+#include "util/status.h"
+
+namespace reach {
+namespace server {
+
+struct ServerOptions {
+  /// Bind address. The default serves loopback only; binding a routable
+  /// address is an explicit opt-in because the protocol is unauthenticated.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Connections served concurrently (pool workers dedicated to handlers).
+  int workers = 4;
+  /// Oracle registry name (baselines/factory.h).
+  std::string method = "DL";
+  /// Construction threads (BuildOptions::threads; 0 = REACH_THREADS env,
+  /// else hardware concurrency). Build-time only, never changes answers.
+  int build_threads = 0;
+  /// Construction budget (core/oracle.h); default unlimited. The serve
+  /// benchmark uses this to reproduce "--" (did-not-finish) cells.
+  BuildBudget budget;
+  ProtocolLimits limits;
+};
+
+/// One server = one graph + one built oracle + one listener.
+///
+/// Lifecycle: Start() exactly once; then Wait() (blocks until a client's
+/// SHUTDOWN drains the server) or Stop() (initiates the same drain locally
+/// and waits). The destructor calls Stop(). Not copyable or movable.
+class ReachServer {
+ public:
+  ReachServer();
+  ~ReachServer();
+
+  ReachServer(const ReachServer&) = delete;
+  ReachServer& operator=(const ReachServer&) = delete;
+
+  /// Builds `options.method` on `graph` (cycles fine: SCC-condensed first),
+  /// binds `host:port`, and starts accepting. On any failure nothing is
+  /// left running and Start may not be retried.
+  Status Start(const Digraph& graph, const ServerOptions& options);
+
+  /// The bound TCP port (the actual one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Construction outcome of the oracle build attempt; valid after Start
+  /// returns, even when the build itself failed (budget exceeded).
+  const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Live service counters (shared with every session).
+  const ServerStats& stats() const { return stats_; }
+
+  /// The built index; valid after a successful Start. Const queries only.
+  const ReachabilityIndex& index() const { return *index_; }
+
+  /// Blocks until the server has drained (SHUTDOWN command or Stop()).
+  void Wait();
+
+  /// Initiates a graceful drain and waits for it to finish. Idempotent;
+  /// safe to call even if a client's SHUTDOWN already started the drain.
+  void Stop();
+
+  /// Async-signal-safe drain trigger: only calls shutdown(2) on the
+  /// listening socket. The accept loop then unblocks and runs the normal
+  /// drain path on a pool thread. For use in SIGINT/SIGTERM handlers.
+  void RequestStopFromSignal();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void InitiateDrain();
+
+  SessionContext context_;
+  ServerStats stats_;
+  BuildStats build_stats_;
+  std::optional<ReachabilityIndex> index_;
+  std::mutex query_mutex_;  // Used only when the oracle is not
+                            // concurrent-query-safe (context_.query_mutex).
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Atomic because RequestStopFromSignal reads it without mu_.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool draining_ = false;
+  bool accept_done_ = false;
+  std::set<int> session_fds_;
+  size_t active_handlers_ = 0;
+};
+
+}  // namespace server
+}  // namespace reach
+
+#endif  // REACH_SERVER_SERVER_H_

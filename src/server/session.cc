@@ -1,0 +1,126 @@
+#include "server/session.h"
+
+#include <cstdio>
+
+namespace reach {
+namespace server {
+
+namespace {
+
+void AppendKeyValue(std::string* out, const char* key, uint64_t value) {
+  *out += key;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+Session::State Session::Feed(std::string_view bytes, std::string* out) {
+  if (state_ != State::kOpen) return state_;
+  lines_.Append(bytes);
+  while (state_ == State::kOpen) {
+    std::optional<std::string> line = lines_.NextLine();
+    if (!line.has_value()) break;
+    HandleLine(*line, out);
+  }
+  if (state_ == State::kOpen && lines_.overflowed()) {
+    // Framing is lost: no newline within the cap. Tell the client why,
+    // then drop the connection (continuing would misparse the stream).
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR line exceeds " +
+            std::to_string(context_->limits.max_line_bytes) +
+            " bytes; closing\n";
+    state_ = State::kClosed;
+  }
+  return state_;
+}
+
+void Session::HandleLine(std::string_view line, std::string* out) {
+  if (batch_remaining_ > 0) {
+    // Inside a BATCH frame every line is a query slot; a malformed slot
+    // answers ERR in place so the response stays n lines for n queries.
+    --batch_remaining_;
+    Vertex u = 0;
+    Vertex v = 0;
+    if (!ParseQueryLine(line, &u, &v)) {
+      context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+      *out += "ERR batch line: expected 'u v'\n";
+      return;
+    }
+    AnswerQuery(u, v, out);
+    return;
+  }
+
+  const Command command = ParseCommandLine(line, context_->limits);
+  switch (command.type) {
+    case CommandType::kQuery:
+      AnswerQuery(command.u, command.v, out);
+      return;
+    case CommandType::kBatch:
+      context_->stats->batches.fetch_add(1, std::memory_order_relaxed);
+      batch_remaining_ = command.batch_count;
+      return;
+    case CommandType::kStats:
+      AppendStats(out);
+      return;
+    case CommandType::kPing:
+      *out += "PONG\n";
+      return;
+    case CommandType::kShutdown:
+      *out += "BYE\n";
+      state_ = State::kShutdownRequested;
+      return;
+    case CommandType::kMalformed:
+      context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+      *out += "ERR " + command.error + "\n";
+      return;
+  }
+}
+
+void Session::AnswerQuery(Vertex u, Vertex v, std::string* out) {
+  context_->stats->queries.fetch_add(1, std::memory_order_relaxed);
+  if (u >= context_->graph_vertices || v >= context_->graph_vertices) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR vertex out of range\n";
+    return;
+  }
+  bool reachable;
+  if (context_->query_mutex != nullptr) {
+    std::lock_guard<std::mutex> lock(*context_->query_mutex);
+    reachable = context_->index->Reachable(u, v);
+  } else {
+    reachable = context_->index->Reachable(u, v);
+  }
+  *out += reachable ? "1\n" : "0\n";
+}
+
+void Session::AppendStats(std::string* out) const {
+  const BuildStats& build = context_->index->oracle().build_stats();
+  const ServerStats& stats = *context_->stats;
+  *out += "STATS\n";
+  *out += "method " + context_->method + "\n";
+  AppendKeyValue(out, "vertices", context_->graph_vertices);
+  AppendKeyValue(out, "edges", context_->graph_edges);
+  AppendKeyValue(out, "components", context_->index->num_components());
+  char build_ms[32];
+  std::snprintf(build_ms, sizeof(build_ms), "%.3f", build.build_millis);
+  *out += "build_ms ";
+  *out += build_ms;
+  *out += '\n';
+  AppendKeyValue(out, "index_integers", build.index_integers);
+  AppendKeyValue(out, "index_bytes", build.index_bytes);
+  AppendKeyValue(out, "threads", static_cast<uint64_t>(build.threads));
+  AppendKeyValue(out, "connections",
+                 stats.connections.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "queries",
+                 stats.queries.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "batches",
+                 stats.batches.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "malformed",
+                 stats.malformed.load(std::memory_order_relaxed));
+  *out += "END\n";
+}
+
+}  // namespace server
+}  // namespace reach

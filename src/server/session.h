@@ -1,0 +1,80 @@
+// Per-connection state machine of reach_serve, socket-free by design: raw
+// bytes in, wire-format response bytes out. The TCP layer (server.h) feeds
+// whatever recv() returns; tests feed arbitrary splits of a request stream
+// and assert identical responses — partial lines, coalesced commands, and
+// malformed input are all protocol concerns, not socket concerns.
+
+#ifndef REACH_SERVER_SESSION_H_
+#define REACH_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/reachability.h"
+#include "server/protocol.h"
+
+namespace reach {
+namespace server {
+
+/// Monotonic service counters shared by all sessions of one server.
+/// Plain atomics: increments are relaxed, STATS reads are snapshots.
+struct ServerStats {
+  std::atomic<uint64_t> connections{0};  // Accepted since start.
+  std::atomic<uint64_t> queries{0};      // Q lines + batch body lines.
+  std::atomic<uint64_t> batches{0};      // BATCH frames started.
+  std::atomic<uint64_t> malformed{0};    // ERR responses sent.
+};
+
+/// Everything a session needs from its server, all owned elsewhere and
+/// outliving every session: the built index (const at query time), the
+/// graph/build metadata reported by STATS, and the shared counters.
+struct SessionContext {
+  const ReachabilityIndex* index = nullptr;
+  std::string method;
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  ServerStats* stats = nullptr;
+  ProtocolLimits limits;
+  /// Non-null when the oracle's ConcurrentQuerySafe() is false: sessions
+  /// then serialize every Reachable() call behind this mutex.
+  std::mutex* query_mutex = nullptr;
+};
+
+/// One connection's protocol state. Not thread-safe: the server runs each
+/// session on exactly one worker at a time.
+class Session {
+ public:
+  enum class State {
+    kOpen,               // Keep reading.
+    kShutdownRequested,  // Client sent SHUTDOWN; flush output, drain server.
+    kClosed,             // Protocol-fatal (oversized line); close after flush.
+  };
+
+  explicit Session(const SessionContext* context)
+      : context_(context), lines_(context->limits.max_line_bytes) {}
+
+  /// Consumes raw connection bytes and appends response bytes to `*out`.
+  /// Returns the session state after processing every complete line in the
+  /// input; kOpen means "send *out, then keep receiving".
+  State Feed(std::string_view bytes, std::string* out);
+
+  State state() const { return state_; }
+
+ private:
+  void HandleLine(std::string_view line, std::string* out);
+  void AnswerQuery(Vertex u, Vertex v, std::string* out);
+  void AppendStats(std::string* out) const;
+
+  const SessionContext* context_;
+  LineBuffer lines_;
+  State state_ = State::kOpen;
+  uint64_t batch_remaining_ = 0;  // Body lines still expected.
+};
+
+}  // namespace server
+}  // namespace reach
+
+#endif  // REACH_SERVER_SESSION_H_

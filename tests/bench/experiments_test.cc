@@ -18,9 +18,10 @@ TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
   for (const ExperimentSpec& spec : ExperimentRegistry()) {
     ++counts[spec.id];
   }
-  const char* expected[] = {"table1", "table2", "table3", "table4", "table5",
-                            "table6", "table7", "fig3",   "fig4"};
-  EXPECT_EQ(counts.size(), 9u);
+  const char* expected[] = {"table1", "table2", "table3", "table4",
+                            "table5", "table6", "table7", "fig3",
+                            "fig4",   "serve_quick"};
+  EXPECT_EQ(counts.size(), 10u);
   for (const char* id : expected) {
     EXPECT_EQ(counts[id], 1) << id;
   }
@@ -30,7 +31,7 @@ TEST(ExperimentRegistryTest, IdsInPaperOrder) {
   EXPECT_EQ(ExperimentIds(),
             (std::vector<std::string>{"table1", "table2", "table3", "table4",
                                       "table5", "table6", "table7", "fig3",
-                                      "fig4"}));
+                                      "fig4", "serve_quick"}));
 }
 
 TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
@@ -54,8 +55,10 @@ TEST(ExperimentRegistryTest, SpecShapesAreConsistent) {
     if (spec.kind == ExperimentKind::kInventory) {
       continue;
     }
-    // Query-time experiments need a workload; the others must not have one.
-    if (spec.metric == Metric::kQueryMillis) {
+    // Query-driven experiments need a workload; the others must not have
+    // one.
+    if (spec.metric == Metric::kQueryMillis ||
+        spec.metric == Metric::kServeQps) {
       EXPECT_NE(spec.workload, WorkloadKind::kNone) << spec.id;
     } else {
       EXPECT_EQ(spec.workload, WorkloadKind::kNone) << spec.id;
@@ -113,11 +116,31 @@ TEST(ExperimentRegistryTest, CoversDatasetRespectsTier) {
 
 TEST(DefaultConfigTest, DatasetsMatchTier) {
   for (const ExperimentSpec& spec : ExperimentRegistry()) {
-    if (spec.kind != ExperimentKind::kTable) continue;
+    if (spec.kind == ExperimentKind::kInventory) continue;
     for (const DatasetSpec& dataset : DatasetsFor(spec)) {
       EXPECT_EQ(dataset.large, spec.large) << spec.id << "/" << dataset.name;
     }
   }
+}
+
+TEST(ExperimentRegistryTest, ServeQuickShape) {
+  const auto spec = FindExperiment("serve_quick");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, ExperimentKind::kServe);
+  EXPECT_EQ(spec->metric, Metric::kServeQps);
+  EXPECT_EQ(spec->workload, WorkloadKind::kEqual);
+  EXPECT_FALSE(spec->large);
+  // A fixed 10k-query batch by default (the --quick smoke shrinks it).
+  EXPECT_EQ(DefaultConfigFor(*spec).num_queries, 10000u);
+  // The rows are the declared small-tier subset, resolved in tier order.
+  const std::vector<DatasetSpec> rows = DatasetsFor(*spec);
+  ASSERT_EQ(rows.size(), spec->dataset_subset.size());
+  for (const DatasetSpec& row : rows) {
+    EXPECT_TRUE(ExperimentCoversDataset(*spec, row.name)) << row.name;
+  }
+  // Full-tier experiments must not cover datasets outside the subset.
+  EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
+  EXPECT_FALSE(spec->default_methods.empty());
 }
 
 }  // namespace

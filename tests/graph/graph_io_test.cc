@@ -35,6 +35,43 @@ TEST(GraphIoTest, EdgeListRejectsGarbage) {
   EXPECT_TRUE(g.status().IsCorruption());
 }
 
+TEST(GraphIoTest, EdgeListRejectsTrailingGarbage) {
+  std::stringstream ss("0 1\n1 2 junk\n");
+  auto g = ReadEdgeList(ss);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  // The error names the offending line so a corrupt multi-GB dump is
+  // debuggable.
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos)
+      << g.status().ToString();
+  EXPECT_NE(g.status().message().find("junk"), std::string::npos);
+}
+
+TEST(GraphIoTest, EdgeListRejectsThreeVertexIds) {
+  std::stringstream ss("1 2 3\n");
+  auto g = ReadEdgeList(ss);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, EdgeListRejectsNonDecimalTokens) {
+  // istream extraction would accept all of these; the strict parser must
+  // not (PR 2 strict-parse policy).
+  for (const char* line : {"-1 2\n", "+1 2\n", "0x5 2\n", "1 2e3\n"}) {
+    std::stringstream ss(line);
+    auto g = ReadEdgeList(ss);
+    EXPECT_FALSE(g.ok()) << line;
+    EXPECT_TRUE(g.status().IsCorruption()) << line;
+  }
+}
+
+TEST(GraphIoTest, EdgeListAcceptsTrailingWhitespace) {
+  std::stringstream ss("0 1  \n1 2\t\n");
+  auto g = ReadEdgeList(ss);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
 TEST(GraphIoTest, GraRoundTrip) {
   Digraph g = CitationDag(80, 2.5, 2);
   std::stringstream ss;
@@ -80,6 +117,122 @@ TEST(GraphIoTest, BinaryRejectsBadMagic) {
   std::stringstream ss("this is not a graph");
   auto g = ReadBinary(ss);
   EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+namespace {
+
+// Forges a binary-snapshot blob from raw header fields + row bytes, for the
+// corrupt-file regressions below (WriteBinary can only produce valid files).
+std::string BinaryBlob(uint64_t n, uint64_t m,
+                       const std::string& rows = std::string()) {
+  const uint64_t magic = 0x52454143483031ULL;  // Mirrors graph_io.cc.
+  std::string blob;
+  blob.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  blob.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  blob.append(reinterpret_cast<const char*>(&m), sizeof(m));
+  blob += rows;
+  return blob;
+}
+
+std::string RowBytes(uint32_t deg, const std::vector<uint32_t>& neighbors) {
+  std::string row(reinterpret_cast<const char*>(&deg), sizeof(deg));
+  row.append(reinterpret_cast<const char*>(neighbors.data()),
+             neighbors.size() * sizeof(uint32_t));
+  return row;
+}
+
+reach::StatusOr<reach::Digraph> ReadBlob(const std::string& blob) {
+  std::stringstream ss(blob,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  return reach::ReadBinary(ss);
+}
+
+}  // namespace
+
+// A hostile header must fail with Corruption before it can size an
+// allocation (the pre-hardening reader did edges.reserve(m) -> OOM).
+TEST(GraphIoTest, BinaryRejectsHugeEdgeCountWithoutAllocating) {
+  auto g = ReadBlob(BinaryBlob(4, uint64_t{1} << 60,
+                               RowBytes(1, {1}) + RowBytes(0, {}) +
+                                   RowBytes(0, {}) + RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("impossible"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsVertexCountBeyondIdSpace) {
+  auto g = ReadBlob(BinaryBlob(uint64_t{1} << 33, 0));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsEdgesOnZeroVertices) {
+  auto g = ReadBlob(BinaryBlob(0, 5));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsHugeVertexCountOnTruncatedFile) {
+  // n claims 2^32 rows; the stream ends immediately. Must fail fast with
+  // Corruption, not allocate per-vertex structures.
+  auto g = ReadBlob(BinaryBlob(uint64_t{1} << 32, 0));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+// A row's degree claiming more neighbors than vertices is structurally
+// impossible and must be rejected before the deg-sized read.
+TEST(GraphIoTest, BinaryRejectsDegreeExceedingVertexCount) {
+  auto g = ReadBlob(BinaryBlob(3, 2, RowBytes(200, {1, 2})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("degree"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsRowDegreesExceedingHeaderEdgeCount) {
+  // Header says 1 edge; row 0 alone claims 2.
+  auto g = ReadBlob(BinaryBlob(3, 1,
+                               RowBytes(2, {1, 2}) + RowBytes(0, {}) +
+                                   RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsTruncatedRowData) {
+  // Row 0 claims 2 neighbors but only 1 is present.
+  auto g = ReadBlob(BinaryBlob(3, 2, RowBytes(2, {1})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsMissingRows) {
+  auto g = ReadBlob(BinaryBlob(3, 0, RowBytes(0, {})));  // 1 of 3 rows.
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsEdgeCountMismatch) {
+  // Rows deliver 0 edges but the header promised 1.
+  auto g = ReadBlob(BinaryBlob(2, 1, RowBytes(0, {}) + RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BinaryRejectsTrailingBytes) {
+  auto g = ReadBlob(BinaryBlob(2, 1, RowBytes(1, {1}) + RowBytes(0, {})) +
+                    "extra");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("trailing"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsOutOfRangeNeighbor) {
+  auto g = ReadBlob(BinaryBlob(2, 1, RowBytes(1, {7}) + RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
   EXPECT_TRUE(g.status().IsCorruption());
 }
 

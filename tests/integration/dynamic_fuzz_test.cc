@@ -1,0 +1,138 @@
+// Randomized differential fuzz for DynamicDistributionLabeling::InsertEdge
+// (ROADMAP "Dynamic updates"): random DAGs take random valid insertions and
+// the patched oracle must agree with a freshly rebuilt oracle on EVERY
+// (u, v) pair — not a sample — after every burst of insertions. The whole
+// sweep runs at 1 and at 4 construction threads, which must not change a
+// single answer (the PR 3 determinism contract extends to the dynamic
+// patching path: patches are sequential, only the initial build fans out).
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/distribution_labeling.h"
+#include "core/dynamic_labeling.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace {
+
+struct FuzzCase {
+  size_t vertices;
+  size_t edges;
+  uint64_t seed;
+  int insertion_attempts;
+};
+
+/// Exhaustive agreement: the incrementally patched oracle vs a from-scratch
+/// build over the accumulated edge set, all n*n pairs.
+void ExpectFullAgreement(const DynamicDistributionLabeling& patched,
+                         const Digraph& current, int threads,
+                         uint64_t seed, int attempt) {
+  DistributionLabelingOracle rebuilt;
+  BuildOptions options;
+  options.threads = threads;
+  ASSERT_TRUE(rebuilt.Build(current, options).ok());
+  const size_t n = current.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(patched.Reachable(u, v), rebuilt.Reachable(u, v))
+          << "seed " << seed << " threads " << threads << " attempt "
+          << attempt << " pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(DynamicInsertFuzzTest, PatchedOracleMatchesFreshRebuild) {
+  const FuzzCase cases[] = {
+      {60, 90, 101, 80},
+      {90, 150, 202, 80},
+      {120, 360, 303, 60},
+      {50, 40, 404, 100},  // Sparse: most random insertions are valid.
+  };
+  for (const int threads : {1, 4}) {
+    for (const FuzzCase& fuzz : cases) {
+      Rng rng(fuzz.seed * 7919 + threads);
+      const Digraph base =
+          RandomDag(fuzz.vertices, fuzz.edges, fuzz.seed);
+
+      DynamicDistributionLabeling patched;
+      BuildOptions options;
+      options.threads = threads;
+      ASSERT_TRUE(patched.Build(base, options).ok());
+
+      GraphBuilder accumulated(base.num_vertices());
+      for (const Edge& e : base.CollectEdges()) {
+        accumulated.AddEdge(e.from, e.to);
+      }
+
+      int accepted = 0;
+      for (int attempt = 0; attempt < fuzz.insertion_attempts; ++attempt) {
+        const Vertex u = static_cast<Vertex>(rng.Uniform(fuzz.vertices));
+        const Vertex v = static_cast<Vertex>(rng.Uniform(fuzz.vertices));
+        const Status status = patched.InsertEdge(u, v);
+        if (status.ok()) {
+          accumulated.AddEdge(u, v);
+          ++accepted;
+        } else {
+          // Only cycle-closing or out-of-range insertions may fail, and
+          // they must leave the oracle untouched (checked below).
+          EXPECT_TRUE(status.IsInvalidArgument())
+              << status.ToString() << " seed " << fuzz.seed;
+        }
+        if (attempt % 20 == 19) {
+          GraphBuilder copy = accumulated;
+          const Digraph current = copy.Build();
+          ExpectFullAgreement(patched, current, threads, fuzz.seed,
+                              attempt);
+          // Build() consumed the copy; the accumulator itself is intact.
+        }
+      }
+      // The sweep must actually exercise the patching path.
+      EXPECT_GT(accepted, 10)
+          << "seed " << fuzz.seed << " threads " << threads;
+
+      GraphBuilder final_copy = accumulated;
+      ExpectFullAgreement(patched, final_copy.Build(), threads, fuzz.seed,
+                          fuzz.insertion_attempts);
+    }
+  }
+}
+
+TEST(DynamicInsertFuzzTest, ThreadCountNeverChangesAnswers) {
+  // The same base graph and insertion sequence at 1 and 4 threads must
+  // produce identical answers on every pair (index determinism extends
+  // through the dynamic path).
+  const size_t n = 80;
+  const Digraph base = RandomDag(n, 160, 55);
+  std::vector<std::pair<Vertex, Vertex>> inserts;
+  Rng rng(777);
+  for (int i = 0; i < 50; ++i) {
+    inserts.emplace_back(static_cast<Vertex>(rng.Uniform(n)),
+                         static_cast<Vertex>(rng.Uniform(n)));
+  }
+
+  auto run = [&](int threads) {
+    auto oracle = std::make_unique<DynamicDistributionLabeling>();
+    BuildOptions options;
+    options.threads = threads;
+    EXPECT_TRUE(oracle->Build(base, options).ok());
+    for (const auto& [u, v] : inserts) (void)oracle->InsertEdge(u, v);
+    return oracle;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one->inserted_edges(), four->inserted_edges());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(one->Reachable(u, v), four->Reachable(u, v))
+          << "pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,294 @@
+// End-to-end loopback coverage of ReachServer: a real TCP server on an
+// ephemeral port, driven by the blocking Client. The acceptance bar for
+// the serving layer: a 10k-query batched workload answered byte-identically
+// to the in-process oracle, malformed input survived, concurrent clients
+// served, and a graceful drain on SHUTDOWN.
+
+#include "server/server.h"
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "query/workload.h"
+#include "server/client.h"
+#include "util/rng.h"
+
+namespace reach {
+namespace server {
+namespace {
+
+ServerOptions QuickOptions(const std::string& method) {
+  ServerOptions options;
+  options.method = method;
+  options.build_threads = 1;
+  options.workers = 3;
+  return options;
+}
+
+/// The workload pairs plus the expected wire answers from the server's own
+/// in-process index.
+std::pair<std::vector<std::pair<Vertex, Vertex>>, std::vector<std::string>>
+MakeExpected(const ReachServer& reach_server, size_t num_queries,
+             size_t num_vertices, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Vertex, Vertex>> queries;
+  std::vector<std::string> expected;
+  queries.reserve(num_queries);
+  expected.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
+    const Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
+    queries.emplace_back(u, v);
+    expected.push_back(reach_server.index().Reachable(u, v) ? "1" : "0");
+  }
+  return {std::move(queries), std::move(expected)};
+}
+
+TEST(ReachServerTest, TenThousandQueryBatchMatchesInProcessOracle) {
+  const Digraph graph = RandomDag(400, 1200, 21);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  ASSERT_NE(reach_server.port(), 0);
+
+  auto [queries, expected] = MakeExpected(reach_server, 10000, 400, 97);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  const auto answers = client.Batch(queries);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // Byte-identical to the in-process oracle, slot by slot.
+  EXPECT_EQ(*answers, expected);
+  EXPECT_EQ(reach_server.stats().queries.load(), 10000u);
+  EXPECT_EQ(reach_server.stats().batches.load(), 1u);
+
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, BatchLargerThanSocketBuffersDoesNotDeadlock) {
+  // A frame bigger than both kernel socket buffers forces the client to
+  // drain answers while still sending (Client::Batch interleaves via
+  // poll); a send-everything-then-read client would deadlock against the
+  // server's blocked writes here.
+  const Digraph graph = ChainDag(50);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+
+  constexpr size_t kQueries = 400000;  // ~3 MB request, ~800 KB response.
+  auto [queries, expected] = MakeExpected(reach_server, kQueries, 50, 13);
+  ServerOptions defaults;
+  ASSERT_LE(kQueries, defaults.limits.max_batch);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  const auto answers = client.Batch(queries);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(*answers, expected);
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, SingleQueriesAndPing) {
+  const Digraph graph = ChainDag(6);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  EXPECT_EQ(*client.Query(0, 5), "1");
+  EXPECT_EQ(*client.Query(5, 0), "0");
+  EXPECT_EQ(*client.Query(2, 2), "1");
+  ASSERT_TRUE(client.SendRaw("PING\n").ok());
+  EXPECT_EQ(*client.ReadLine(), "PONG");
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, CyclicInputIsCondensedFirst) {
+  // 0 <-> 1 form one SCC; both reach 2.
+  const Digraph graph =
+      Digraph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  EXPECT_EQ(*client.Query(0, 1), "1");
+  EXPECT_EQ(*client.Query(1, 0), "1");
+  EXPECT_EQ(*client.Query(0, 2), "1");
+  EXPECT_EQ(*client.Query(2, 0), "0");
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, MalformedInputNeverKillsTheServer) {
+  const Digraph graph = ChainDag(4);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  for (const char* junk :
+       {"HELO\n", "Q 1\n", "Q a b\n", "BATCH nope\n", "Q 1 2 3\n"}) {
+    ASSERT_TRUE(client.SendRaw(junk).ok());
+    const auto line = client.ReadLine();
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(line->rfind("ERR ", 0), 0u) << junk;
+  }
+  // An overlong line is protocol-fatal for that connection only. The
+  // send may itself fail once the server closes mid-stream; either way
+  // the server must survive.
+  (void)client.SendRaw(std::string(100000, 'x'));
+  // A fresh connection is unaffected.
+  Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", reach_server.port()).ok());
+  EXPECT_EQ(*second.Query(0, 3), "1");
+  client.Close();
+  second.Close();
+  reach_server.Stop();
+  EXPECT_GE(reach_server.stats().malformed.load(), 5u);
+}
+
+TEST(ReachServerTest, ConcurrentClientsGetConsistentAnswers) {
+  const Digraph graph = RandomDag(200, 600, 5);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+
+  constexpr int kClients = 3;
+  constexpr size_t kQueriesEach = 2000;
+  // Expected answers come from the main thread: client threads only talk
+  // TCP (and the in-process index stays strictly concurrent-read).
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> queries(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    std::tie(queries[c], expected[c]) =
+        MakeExpected(reach_server, kQueriesEach, 200, 1000 + c);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", reach_server.port()).ok()) return;
+      const auto answers = client.Batch(queries[c]);
+      ok[c] = answers.ok() && *answers == expected[c];
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+  EXPECT_EQ(reach_server.stats().queries.load(),
+            kClients * kQueriesEach);
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, SerializedOracleServesConcurrentClients) {
+  // BFS answers by traversal over shared scratch (ConcurrentQuerySafe is
+  // false); the server must serialize its queries rather than race.
+  const Digraph graph = RandomDag(150, 450, 9);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("BFS")).ok());
+  ASSERT_FALSE(reach_server.index().oracle().ConcurrentQuerySafe());
+
+  constexpr int kClients = 2;
+  // BFS queries race on scratch, so even the expected answers must be
+  // computed before any concurrency starts.
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> queries(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    std::tie(queries[c], expected[c]) =
+        MakeExpected(reach_server, 500, 150, 2000 + c);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", reach_server.port()).ok()) return;
+      const auto answers = client.Batch(queries[c]);
+      ok[c] = answers.ok() && *answers == expected[c];
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_TRUE(ok[c]) << "client " << c;
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, ShutdownDrainsAndStopsAccepting) {
+  const Digraph graph = ChainDag(5);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  const uint16_t port = reach_server.port();
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  EXPECT_EQ(*client.Query(0, 4), "1");
+  const auto farewell = client.Shutdown();
+  ASSERT_TRUE(farewell.ok());
+  EXPECT_EQ(*farewell, "BYE");
+
+  // Wait() returns: the drain completed without Stop().
+  reach_server.Wait();
+  client.Close();
+
+  // The listener is gone; a fresh connection must fail (immediately, or on
+  // first use for a connection that raced the teardown).
+  Client late;
+  const Status connect_status = late.Connect("127.0.0.1", port);
+  if (connect_status.ok()) {
+    EXPECT_FALSE(late.Query(0, 1).ok());
+  }
+  // Stop() after a client-driven drain is a no-op, not a hang.
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, StatsRoundTripThroughClient) {
+  const Digraph graph = ChainDag(4);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("HL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  ASSERT_TRUE(client.Query(0, 1).ok());
+  const auto rows = client.Stats();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  bool saw_method = false;
+  bool saw_queries = false;
+  for (const std::string& row : *rows) {
+    saw_method |= row == "method HL";
+    saw_queries |= row == "queries 1";
+  }
+  EXPECT_TRUE(saw_method);
+  EXPECT_TRUE(saw_queries);
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, StartRejectsUnknownMethodAndBadAddress) {
+  const Digraph graph = ChainDag(3);
+  {
+    ReachServer reach_server;
+    const Status status =
+        reach_server.Start(graph, QuickOptions("NOPE"));
+    EXPECT_TRUE(status.IsInvalidArgument());
+  }
+  {
+    ReachServer reach_server;
+    ServerOptions options = QuickOptions("DL");
+    options.host = "not-an-address";
+    EXPECT_TRUE(reach_server.Start(graph, options).IsInvalidArgument());
+  }
+}
+
+TEST(ReachServerTest, BudgetExceededBuildReportsStats) {
+  const Digraph graph = RandomDag(300, 900, 3);
+  ReachServer reach_server;
+  ServerOptions options = QuickOptions("DL");
+  options.budget.max_index_integers = 1;  // Guaranteed to blow.
+  const Status status = reach_server.Start(graph, options);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_FALSE(reach_server.build_stats().ok);
+  EXPECT_TRUE(reach_server.build_stats().budget_exceeded);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace reach

@@ -1,0 +1,135 @@
+// Scripted client for reach_serve: reads "u v" query pairs from stdin,
+// sends them as one BATCH frame, and prints one answer line per query.
+// Optional follow-ups on the same connection: --stats (print the STATS
+// block rows) and --shutdown (drain the server).
+//
+//   printf '0 1\n1 2\n' | reach_client --port=4000
+//   reach_client --port=4000 --shutdown </dev/null
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/client.h"
+#include "util/strict_parse.h"
+
+namespace {
+
+void Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: reach_client --port=P [--host=ADDR] [--stats] [--shutdown]\n"
+      "  --port=P      server TCP port (required)\n"
+      "  --host=ADDR   server IPv4 address (default 127.0.0.1)\n"
+      "  --stats       after the batch, print the server's STATS rows\n"
+      "  --shutdown    after everything else, drain the server\n"
+      "  stdin         'u v' pairs sent as one BATCH; empty stdin sends "
+      "none\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    }
+  }
+  std::string host = "127.0.0.1";
+  uint64_t port = 0;
+  bool want_stats = false;
+  bool want_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseDecimalUint64(arg.substr(7), &port) || port < 1 ||
+          port > 65535) {
+        std::fprintf(stderr, "error: --port expects an integer in "
+                             "[1, 65535], got '%s'\n",
+                     arg.substr(7).c_str());
+        Usage(stderr);
+        return 2;
+      }
+    } else if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--shutdown") {
+      want_shutdown = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    Usage(stderr);
+    return 2;
+  }
+
+  std::vector<std::pair<Vertex, Vertex>> queries;
+  std::string u_token;
+  std::string v_token;
+  while (std::cin >> u_token) {
+    if (!(std::cin >> v_token)) {
+      std::fprintf(stderr, "error: trailing vertex '%s' without a pair\n",
+                   u_token.c_str());
+      return 2;
+    }
+    Vertex u = 0;
+    Vertex v = 0;
+    if (!server::ParseVertexToken(u_token, &u) ||
+        !server::ParseVertexToken(v_token, &v)) {
+      std::fprintf(stderr, "error: '%s %s' is not a vertex-id pair\n",
+                   u_token.c_str(), v_token.c_str());
+      return 2;
+    }
+    queries.emplace_back(u, v);
+  }
+
+  server::Client client;
+  Status status = client.Connect(host, static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!queries.empty()) {
+    auto answers = client.Batch(queries);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   answers.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& answer : *answers) {
+      std::printf("%s\n", answer.c_str());
+    }
+  }
+  if (want_stats) {
+    auto rows = client.Stats();
+    if (!rows.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& row : *rows) {
+      std::printf("%s\n", row.c_str());
+    }
+  }
+  if (want_shutdown) {
+    auto farewell = client.Shutdown();
+    if (!farewell.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   farewell.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", farewell->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Long-lived reachability oracle server over a line protocol (see
+// src/server/protocol.h): load a graph once, build any registry oracle
+// once, then answer batched queries from concurrent TCP clients until a
+// client sends SHUTDOWN (or SIGINT/SIGTERM).
+//
+//   reach_serve GRAPH [--method=DL] [--threads=N] [--port=0]
+//               [--workers=4] [--max-batch=N]
+//
+// On success the tool prints "LISTENING <port>" on stdout (scripts parse
+// this to learn the ephemeral port) and serves until drained; exit code 0
+// means a clean drain.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "baselines/factory.h"
+#include "graph/graph_io.h"
+#include "server/server.h"
+#include "util/strict_parse.h"
+
+namespace {
+
+reach::server::ReachServer* g_server = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  // Async-signal-safe drain trigger; the normal drain path finishes the
+  // shutdown on a pool thread.
+  if (g_server != nullptr) g_server->RequestStopFromSignal();
+}
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: reach_serve GRAPH [--method=NAME] [--threads=N] "
+               "[--port=P] [--workers=N] [--max-batch=N]\n"
+               "  GRAPH          edge list (.txt), .gra adjacency, or .bin\n"
+               "  --method=NAME  oracle to build (default DL); one of:\n"
+               "                 ");
+  for (const std::string& name : reach::AllOracleNames()) {
+    std::fprintf(out, "%s ", name.c_str());
+  }
+  std::fprintf(
+      out,
+      "\n  --threads=N    construction worker threads (default: "
+      "REACH_THREADS env,\n"
+      "                 else hardware concurrency; never changes answers)\n"
+      "  --port=P       TCP port on 127.0.0.1 (default 0 = ephemeral; the\n"
+      "                 bound port is printed as 'LISTENING <port>')\n"
+      "  --workers=N    concurrent client connections served (default 4)\n"
+      "  --max-batch=N  largest accepted BATCH count (default %llu)\n"
+      "protocol: 'Q u v' | 'BATCH n' + n 'u v' lines | STATS | PING | "
+      "SHUTDOWN\n",
+      static_cast<unsigned long long>(
+          reach::server::ProtocolLimits().max_batch));
+}
+
+bool ParseFlagUint(const std::string& arg, const char* flag_name,
+                   size_t prefix_len, uint64_t min, uint64_t max,
+                   uint64_t* out) {
+  const std::string text = arg.substr(prefix_len);
+  if (!reach::ParseDecimalUint64(text, out) || *out < min || *out > max) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 flag_name, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), text.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  // Help preempts validation (same contract as reach_cli and the bench
+  // binaries): usage is always reachable with exit code 0.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    }
+  }
+  std::string graph_path;
+  server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t value = 0;
+    if (arg.rfind("--method=", 0) == 0) {
+      options.method = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseFlagUint(arg, "--threads", 10, 1, 1024, &value)) {
+        Usage(stderr);
+        return 2;
+      }
+      options.build_threads = static_cast<int>(value);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseFlagUint(arg, "--port", 7, 0, 65535, &value)) {
+        Usage(stderr);
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!ParseFlagUint(arg, "--workers", 10, 1, 256, &value)) {
+        Usage(stderr);
+        return 2;
+      }
+      options.workers = static_cast<int>(value);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      if (!ParseFlagUint(arg, "--max-batch", 12, 1, uint64_t{1} << 30,
+                         &value)) {
+        Usage(stderr);
+        return 2;
+      }
+      options.limits.max_batch = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    } else if (graph_path.empty()) {
+      graph_path = arg;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+  if (graph_path.empty()) {
+    Usage(stderr);
+    return 2;
+  }
+
+  auto graph = ReadGraphFile(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", graph_path.c_str(),
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  server::ReachServer reach_server;
+  const Status status = reach_server.Start(*graph, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const BuildStats& build = reach_server.build_stats();
+  std::fprintf(stderr,
+               "serving %s (%zu vertices, %zu edges) with %s: %llu index "
+               "integers, built in %.1f ms with %d thread%s\n",
+               graph_path.c_str(), graph->num_vertices(),
+               graph->num_edges(), options.method.c_str(),
+               static_cast<unsigned long long>(build.index_integers),
+               build.build_millis, build.threads,
+               build.threads == 1 ? "" : "s");
+  // The readiness line scripts wait for; flushed so a pipe reader sees it
+  // before the first connection.
+  std::printf("LISTENING %u\n", reach_server.port());
+  std::fflush(stdout);
+
+  g_server = &reach_server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  reach_server.Wait();
+  g_server = nullptr;
+  std::fprintf(stderr, "drained after %llu queries; bye\n",
+               static_cast<unsigned long long>(
+                   reach_server.stats().queries.load()));
+  return 0;
+}
