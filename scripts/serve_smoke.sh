@@ -28,8 +28,10 @@ trap cleanup EXIT
 
 fail() {
   echo "serve_smoke FAILED: $*" >&2
-  echo "--- server stderr ---" >&2
-  cat "$workdir/server.err" >&2 || true
+  for err in "$workdir"/*.err; do
+    echo "--- $err ---" >&2
+    cat "$err" >&2 || true
+  done
   exit 1
 }
 
@@ -96,4 +98,27 @@ server_pid=""
 grep -q '^drained after ' "$workdir/server.err" \
   || fail "server did not report a drain"
 
-echo "serve_smoke OK (port $port)"
+# Signal path: SIGTERM on an idle server (no client ever connected) must
+# drain and exit 0 — regression for a signal-initiated drain that never
+# woke Wait(), leaving the process killable only by SIGKILL.
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=1 --workers=2 \
+  > "$workdir/signal.out" 2> "$workdir/signal.err" &
+server_pid=$!
+port2=""
+for _ in $(seq 1 100); do
+  port2=$(awk '/^LISTENING /{print $2}' "$workdir/signal.out" 2>/dev/null)
+  [ -n "$port2" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "signal server exited early"
+  sleep 0.1
+done
+[ -n "$port2" ] || fail "signal server: no LISTENING line within 10s"
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] \
+  || fail "SIGTERM exit code $server_status (expected clean drain)"
+grep -q '^drained after ' "$workdir/signal.err" \
+  || fail "signal server did not report a drain"
+
+echo "serve_smoke OK (port $port, signal port $port2)"

@@ -155,6 +155,19 @@ Status WriteBinary(const Digraph& g, std::ostream& out) {
   const uint64_t magic = kBinaryMagic;
   const uint64_t n = g.num_vertices();
   const uint64_t m = g.num_edges();
+  // The binary format is defined only for loop-free simple digraphs (see
+  // graph_io.h): ReadBinary rejects self-loop rows, so emitting one would
+  // produce a file this library cannot load back. Validated before the
+  // first write so a rejected graph leaves no partial file behind.
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Vertex w : g.OutNeighbors(v)) {
+      if (w == v) {
+        return Status::InvalidArgument(
+            "binary graph format does not support self-loops (vertex " +
+            std::to_string(v) + ")");
+      }
+    }
+  }
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&m), sizeof(m));
@@ -188,7 +201,9 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
     return Status::Corruption("binary graph vertex count " +
                               std::to_string(n) + " exceeds uint32 id space");
   }
-  if (m > 0 && (n == 0 || (m - 1) / n >= n)) {
+  // n <= 2^32 was just checked, so n*(n-1) cannot overflow uint64.
+  const uint64_t max_edges = n == 0 ? 0 : n * (n - 1);
+  if (m > max_edges) {
     return Status::Corruption("binary graph edge count " + std::to_string(m) +
                               " impossible for " + std::to_string(n) +
                               " vertices");
@@ -204,20 +219,25 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
     uint32_t deg = 0;
     in.read(reinterpret_cast<char*>(&deg), sizeof(deg));
     if (!in) return Status::Corruption("truncated binary graph row");
-    // A row of a simple graph cannot list more neighbors than vertices,
+    // A simple-digraph row has at most n-1 distinct non-self neighbors,
     // and the rows together cannot exceed the header's edge count. Both
     // checks run before any deg-sized work.
-    if (deg > n) {
+    if (deg >= n) {
       return Status::Corruption("binary graph row " + std::to_string(v) +
                                 " degree " + std::to_string(deg) +
-                                " exceeds vertex count " + std::to_string(n));
+                                " impossible for " + std::to_string(n) +
+                                " vertices");
     }
     if (deg > m - edges.size()) {
       return Status::Corruption("binary graph rows exceed header edge count " +
                                 std::to_string(m));
     }
     // Bounded slices: a truncated file wastes at most one slice of
-    // allocation before the read failure surfaces.
+    // allocation before the read failure surfaces. WriteBinary emits each
+    // row strictly ascending with no self-loop (OutNeighbors of a deduped,
+    // loop-free Digraph), so any other row shape is not a graph this
+    // reader produced.
+    int64_t prev = -1;
     for (size_t remaining = deg; remaining > 0;) {
       const size_t chunk = std::min(remaining, kBinaryRowSliceEntries);
       slice.resize(chunk);
@@ -226,6 +246,15 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
       if (!in) return Status::Corruption("truncated binary graph row data");
       for (const Vertex w : slice) {
         if (w >= n) return Status::Corruption("binary graph neighbor range");
+        if (static_cast<int64_t>(w) <= prev) {
+          return Status::Corruption("binary graph row " + std::to_string(v) +
+                                    " neighbors not strictly ascending");
+        }
+        if (w == v) {
+          return Status::Corruption("binary graph row " + std::to_string(v) +
+                                    " contains a self-loop");
+        }
+        prev = static_cast<int64_t>(w);
         edges.push_back(Edge{static_cast<Vertex>(v), w});
       }
       remaining -= chunk;

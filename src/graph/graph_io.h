@@ -34,6 +34,10 @@ StatusOr<Digraph> ReadGra(std::istream& in);
 Status WriteGra(const Digraph& g, std::ostream& out);
 
 /// Binary snapshot (not portable across endianness; fast local reload).
+/// Defined only for loop-free simple digraphs — the library's canonical
+/// form (GraphBuilder/FromEdges dedupe and drop self-loops by default).
+/// WriteBinary rejects self-loop graphs with InvalidArgument so it can
+/// never emit a file the hardened ReadBinary refuses to load.
 Status WriteBinary(const Digraph& g, std::ostream& out);
 StatusOr<Digraph> ReadBinary(std::istream& in);
 

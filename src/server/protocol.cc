@@ -40,7 +40,7 @@ Command Malformed(std::string why) {
 
 bool ParseVertexToken(std::string_view token, Vertex* out) {
   uint64_t value = 0;
-  if (!ParseDecimalUint64(std::string(token), &value) ||
+  if (!ParseDecimalUint64(token, &value) ||
       value > std::numeric_limits<Vertex>::max()) {
     return false;
   }
@@ -76,7 +76,7 @@ Command ParseCommandLine(std::string_view line,
   }
   if (verb == "BATCH") {
     uint64_t n = 0;
-    if (count != 2 || !ParseDecimalUint64(std::string(tokens[1]), &n)) {
+    if (count != 2 || !ParseDecimalUint64(tokens[1], &n)) {
       return Malformed("BATCH expects one decimal count: 'BATCH n'");
     }
     if (n > limits.max_batch) {

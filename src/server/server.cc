@@ -1,7 +1,9 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -41,6 +43,12 @@ ReachServer::ReachServer() = default;
 
 ReachServer::~ReachServer() {
   if (started_) Stop();
+  // The wake pipe outlives the drain: RequestStopFromSignal may target it
+  // until the caller unregisters its signal handler, which the contract
+  // requires to happen before destruction.
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  const int wake_wr = wake_wr_.exchange(-1);
+  if (wake_wr >= 0) ::close(wake_wr);
 }
 
 Status ReachServer::Start(const Digraph& graph,
@@ -70,7 +78,10 @@ Status ReachServer::Start(const Digraph& graph,
   context_.query_mutex =
       index_->oracle().ConcurrentQuerySafe() ? nullptr : &query_mutex_;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Non-blocking listener: the accept loop polls it together with the
+  // wake pipe, so accept4 must never block after a spurious wakeup.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
@@ -107,6 +118,17 @@ Status ReachServer::Start(const Digraph& graph,
     ::close(fd);
     return status;
   }
+  // Self-pipe for drain/signal wakeups. Non-blocking so a flood of signals
+  // can never block the handler on a full pipe.
+  int wake[2] = {-1, -1};
+  if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) < 0) {
+    const Status status =
+        Status::IOError(std::string("pipe2: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  wake_rd_ = wake[0];
+  wake_wr_.store(wake[1]);
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   started_ = true;
@@ -126,11 +148,39 @@ Status ReachServer::Start(const Digraph& graph,
 
 void ReachServer::AcceptLoop() {
   while (true) {
-    const int fd = ::accept4(listen_fd_.load(), nullptr, nullptr,
-                             SOCK_CLOEXEC);
-    if (fd < 0) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_rd_, POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
       if (errno == EINTR) continue;
-      break;  // Listener shut down (drain) or fatal: stop accepting.
+      break;  // Fatal poll error: stop accepting and drain.
+    }
+    // Any wake-pipe event (a drain or signal-stop byte) ends the loop,
+    // even if a connection is ready too — draining_ is or will be set, so
+    // that connection would only be accepted to be closed again.
+    if (fds[1].revents != 0) break;
+    if (fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      // The connection can vanish between poll and accept; only an error
+      // that outlives a retry is fatal.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      // Transient resource pressure (a connection burst exhausting fds or
+      // kernel memory) must not drain a long-lived server permanently.
+      // Back off briefly — watching only the wake pipe so a drain request
+      // still interrupts the wait — and try again once handlers have had
+      // a chance to close their connections.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        pollfd wake = {wake_rd_, POLLIN, 0};
+        ::poll(&wake, 1, 100);
+        continue;
+      }
+      break;
     }
     // A peer that stops reading must not park a handler in send() forever
     // and stall the drain; time the write out and drop the connection.
@@ -153,7 +203,8 @@ void ReachServer::AcceptLoop() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     accept_done_ = true;
-    ::close(listen_fd_.exchange(-1));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
     --active_handlers_;
     const bool need_drain = !draining_;
     lock.unlock();
@@ -196,16 +247,25 @@ void ReachServer::HandleConnection(int fd) {
 }
 
 void ReachServer::InitiateDrain() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (draining_) return;
-  draining_ = true;
-  // Unblock the accept loop; it observes the shutdown as an accept error.
-  const int listen_fd = listen_fd_.load();
-  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
-  // Unblock every idle session: recv returns 0 and the handler flushes and
-  // closes. Commands already received keep being answered — drain, not
-  // abort.
-  for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;
+    draining_ = true;
+    // Unblock the accept loop: one byte on the wake pipe ends its poll.
+    const int wake_wr = wake_wr_.load();
+    if (wake_wr >= 0) {
+      const char byte = 0;
+      [[maybe_unused]] const ssize_t n = ::write(wake_wr, &byte, 1);
+    }
+    // Unblock every idle session: recv returns 0 and the handler flushes
+    // and closes. Commands already received keep being answered — drain,
+    // not abort.
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  // Wait() may already be blocked with no live handlers left to wake it
+  // (an idle server drained by a signal or a listener failure), so the
+  // flag flip must notify by itself.
+  cv_.notify_all();
 }
 
 void ReachServer::Wait() {
@@ -222,10 +282,16 @@ void ReachServer::Stop() {
 }
 
 void ReachServer::RequestStopFromSignal() {
-  // Only async-signal-safe calls here: shutdown(2) on a fixed fd. The
-  // accept loop unblocks and completes the drain with proper locking.
-  const int listen_fd = listen_fd_.load();
-  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+  // Only async-signal-safe calls here: write(2) on the self-pipe, whose
+  // descriptor stays valid until destruction — unlike the listener fd,
+  // which the accept loop closes (and the kernel may recycle) during the
+  // drain. The accept loop wakes from poll and completes the drain with
+  // proper locking on a pool thread.
+  const int wake_wr = wake_wr_.load();
+  if (wake_wr >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr, &byte, 1);
+  }
 }
 
 }  // namespace server

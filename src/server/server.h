@@ -100,9 +100,12 @@ class ReachServer {
   /// safe to call even if a client's SHUTDOWN already started the drain.
   void Stop();
 
-  /// Async-signal-safe drain trigger: only calls shutdown(2) on the
-  /// listening socket. The accept loop then unblocks and runs the normal
-  /// drain path on a pool thread. For use in SIGINT/SIGTERM handlers.
+  /// Async-signal-safe drain trigger: only calls write(2) on a self-pipe
+  /// whose descriptor stays valid from Start() until destruction, so a
+  /// signal can never race the accept loop into touching a recycled fd.
+  /// The accept loop wakes from poll and runs the normal drain path on a
+  /// pool thread. For use in SIGINT/SIGTERM handlers; the handler must be
+  /// unregistered (or g_server cleared) before the server is destroyed.
   void RequestStopFromSignal();
 
  private:
@@ -119,8 +122,15 @@ class ReachServer {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  // Atomic because RequestStopFromSignal reads it without mu_.
-  std::atomic<int> listen_fd_{-1};
+  // Owned by the accept loop after Start(); nothing else touches it, so a
+  // signal handler can never shutdown(2) a recycled descriptor number.
+  int listen_fd_ = -1;
+  // Self-pipe that wakes the accept loop's poll: InitiateDrain and
+  // RequestStopFromSignal write one byte. Both ends live until the
+  // destructor; the write end is atomic because the signal handler reads
+  // it without mu_.
+  int wake_rd_ = -1;
+  std::atomic<int> wake_wr_{-1};
   uint16_t port_ = 0;
   bool started_ = false;
   bool draining_ = false;

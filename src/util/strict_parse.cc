@@ -1,19 +1,19 @@
 #include "util/strict_parse.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
+#include <system_error>
 
 namespace reach {
 
-bool ParseDecimalUint64(const std::string& text, uint64_t* out) {
-  if (text.empty() ||
-      text.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+bool ParseDecimalUint64(std::string_view text, uint64_t* out) {
+  // std::from_chars matches the contract exactly: no whitespace, sign, or
+  // base-prefix acceptance, overflow reported as result_out_of_range, no
+  // allocation. Requiring ptr to reach the end rejects trailing garbage
+  // (and an empty input fails with invalid_argument).
+  uint64_t value = 0;
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
   *out = value;
   return true;
 }

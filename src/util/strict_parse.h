@@ -7,14 +7,16 @@
 #define REACH_UTIL_STRICT_PARSE_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace reach {
 
 /// Parses `text` as a base-10 unsigned integer: digits only (no sign,
 /// whitespace, or base prefix), the whole string, no overflow. Returns
-/// false without touching `*out` on any violation.
-bool ParseDecimalUint64(const std::string& text, uint64_t* out);
+/// false without touching `*out` on any violation. Takes a string_view so
+/// hot parse paths (the server's per-line BATCH tokens) never have to
+/// materialize a std::string per token.
+bool ParseDecimalUint64(std::string_view text, uint64_t* out);
 
 }  // namespace reach
 

@@ -236,6 +236,68 @@ TEST(GraphIoTest, BinaryRejectsOutOfRangeNeighbor) {
   EXPECT_TRUE(g.status().IsCorruption());
 }
 
+// The header check enforces the simple-digraph bound m <= n*(n-1) exactly:
+// m = 7 on 3 vertices slips past the older m <= n^2 check but is still
+// impossible for a loop-free simple digraph (max 6).
+TEST(GraphIoTest, BinaryRejectsEdgeCountAboveSimpleDigraphBound) {
+  auto g = ReadBlob(BinaryBlob(3, 7));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("impossible"), std::string::npos)
+      << g.status().ToString();
+}
+
+// WriteBinary can never emit deg == n (a row holds at most n-1 non-self
+// neighbors), so the reader rejects it before the deg-sized read.
+TEST(GraphIoTest, BinaryRejectsDegreeEqualToVertexCount) {
+  auto g = ReadBlob(BinaryBlob(3, 3, RowBytes(3, {0, 1, 2})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("degree"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsSelfLoopRow) {
+  auto g = ReadBlob(BinaryBlob(2, 1, RowBytes(1, {0}) + RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("self-loop"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsDuplicateNeighbors) {
+  auto g = ReadBlob(BinaryBlob(3, 2,
+                               RowBytes(2, {1, 1}) + RowBytes(0, {}) +
+                                   RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("ascending"), std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(GraphIoTest, BinaryRejectsUnsortedRow) {
+  auto g = ReadBlob(BinaryBlob(3, 2,
+                               RowBytes(2, {2, 1}) + RowBytes(0, {}) +
+                                   RowBytes(0, {})));
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("ascending"), std::string::npos)
+      << g.status().ToString();
+}
+
+// The writer/reader contract stays symmetric: a keep_self_loops digraph
+// (constructible, and serializable as text) must be refused by WriteBinary
+// rather than emitted as a file ReadBinary then rejects.
+TEST(GraphIoTest, BinaryWriterRefusesSelfLoopGraphs) {
+  const Digraph g =
+      Digraph::FromEdges(2, {{0, 0}, {0, 1}}, /*keep_self_loops=*/true);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(WriteBinary(g, ss).IsInvalidArgument());
+  // All-or-nothing: the rejected graph must not leave a partial header or
+  // rows behind on the stream.
+  EXPECT_TRUE(ss.str().empty());
+}
+
 TEST(GraphIoTest, FileDispatchByExtension) {
   Digraph g = RandomDag(60, 150, 4);
   for (const char* name :

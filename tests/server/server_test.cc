@@ -241,6 +241,34 @@ TEST(ReachServerTest, ShutdownDrainsAndStopsAccepting) {
   reach_server.Stop();
 }
 
+TEST(ReachServerTest, SignalStopOnIdleServerUnblocksWait) {
+  // Regression: the signal-initiated drain once set draining_ without
+  // notifying the condition variable, and with zero connections ever made
+  // there is no handler left to wake Wait() — reach_serve hung forever on
+  // ctrl-C and could only be SIGKILLed.
+  const Digraph graph = ChainDag(4);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  std::thread waiter([&] { reach_server.Wait(); });
+  reach_server.RequestStopFromSignal();
+  waiter.join();  // Must return; a regression trips the test timeout.
+  // Stop() after a signal-driven drain stays a no-op, not a hang.
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, SignalStopDrainsActiveConnection) {
+  const Digraph graph = ChainDag(5);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  EXPECT_EQ(*client.Query(0, 4), "1");
+  reach_server.RequestStopFromSignal();
+  reach_server.Wait();
+  client.Close();
+  reach_server.Stop();
+}
+
 TEST(ReachServerTest, StatsRoundTripThroughClient) {
   const Digraph graph = ChainDag(4);
   ReachServer reach_server;

@@ -154,14 +154,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(build.index_integers),
                build.build_millis, build.threads,
                build.threads == 1 ? "" : "s");
+  // Handlers must be live before the readiness line: a supervisor that
+  // signals the moment it sees LISTENING would otherwise race the default
+  // disposition and kill the process instead of draining it.
+  g_server = &reach_server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
   // The readiness line scripts wait for; flushed so a pipe reader sees it
   // before the first connection.
   std::printf("LISTENING %u\n", reach_server.port());
   std::fflush(stdout);
 
-  g_server = &reach_server;
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   reach_server.Wait();
   g_server = nullptr;
   std::fprintf(stderr, "drained after %llu queries; bye\n",
