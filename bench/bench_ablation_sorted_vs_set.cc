@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     Workload workload = MakeEqualWorkload(g, oracle, options);
 
     // Mirror the labeling into std::sets.
-    const HopLabeling& labels = oracle.labeling();
+    const LabelStore& labels = oracle.labeling();
     std::vector<std::set<uint32_t>> out_sets(g.num_vertices());
     std::vector<std::set<uint32_t>> in_sets(g.num_vertices());
     for (Vertex v = 0; v < g.num_vertices(); ++v) {

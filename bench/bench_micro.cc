@@ -40,6 +40,74 @@ void BM_SortedIntersects(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedIntersects)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 
+// --- Intersection-kernel suite: merge vs gallop vs adaptive across size
+// ratios 1:1 .. 1:10^4, so kGallopRatio (the adaptive crossover) is
+// measured rather than guessed. Args are {|small|, ratio}; |large| =
+// |small| * ratio. Mostly-negative intersections (disjoint-by-value
+// universes would be unfair to merge; these share one universe, so the
+// kernels do real work).
+
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> RatioInputs(
+    size_t small_len, size_t ratio) {
+  const uint32_t universe = 1 << 24;
+  auto small = RandomSortedVector(small_len, universe, 11);
+  auto large = RandomSortedVector(small_len * ratio, universe, 12);
+  return {std::move(small), std::move(large)};
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
+                                    static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeIntersects(small, large));
+  }
+}
+
+void BM_IntersectGallop(benchmark::State& state) {
+  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
+                                    static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GallopIntersects(small, large));
+  }
+}
+
+void BM_IntersectAdaptive(benchmark::State& state) {
+  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
+                                    static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersects(small, large));
+  }
+}
+
+void IntersectRatioArgs(benchmark::internal::Benchmark* b) {
+  for (const int64_t ratio : {1, 8, 32, 100, 1000, 10000}) {
+    b->Args({16, ratio});
+  }
+  // A second small-side size around typical label lengths.
+  for (const int64_t ratio : {1, 32, 1000}) {
+    b->Args({128, ratio});
+  }
+}
+
+BENCHMARK(BM_IntersectMerge)->Apply(IntersectRatioArgs);
+BENCHMARK(BM_IntersectGallop)->Apply(IntersectRatioArgs);
+BENCHMARK(BM_IntersectAdaptive)->Apply(IntersectRatioArgs);
+
+// The O(1) range rejection: two big labels whose key windows are disjoint
+// (exactly what DL's total-order keys produce on most negative queries).
+void BM_IntersectRangeReject(benchmark::State& state) {
+  std::vector<uint32_t> low;
+  std::vector<uint32_t> high;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    low.push_back(i);
+    high.push_back(1 << 20 | i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersects(low, high));
+  }
+}
+BENCHMARK(BM_IntersectRangeReject);
+
 void BM_BitsetUnion(benchmark::State& state) {
   const size_t bits = static_cast<size_t>(state.range(0));
   Bitset a(bits);

@@ -98,6 +98,8 @@ std::string MetricName(Metric metric) {
   switch (metric) {
     case Metric::kQueryMillis:
       return "query_ms_per_100k";
+    case Metric::kQueryNanos:
+      return "query_ns";
     case Metric::kConstructionMillis:
       return "construction_ms";
     case Metric::kIndexIntegers:

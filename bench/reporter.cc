@@ -42,6 +42,11 @@ void TextTableReporter::BeginExperiment(const ExperimentSpec& spec,
     std::fprintf(out_,
                  "metric: total ms per 100,000 queries (measured with %zu)\n",
                  config.num_queries);
+  } else if (spec.metric == Metric::kQueryNanos) {
+    std::fprintf(out_,
+                 "metric: ns per query (repeated passes over a %zu-query "
+                 "workload)\n",
+                 config.num_queries);
   } else if (spec.metric == Metric::kConstructionMillis) {
     std::fprintf(out_, "metric: index construction ms\n");
   } else if (spec.metric == Metric::kServeQps) {
@@ -81,6 +86,7 @@ void TextTableReporter::AddRecord(const RunRecord& record) {
     switch (metric_) {
       case Metric::kConstructionMillis:
       case Metric::kQueryMillis:
+      case Metric::kQueryNanos:
         std::fprintf(out_, "%12.1f", record.value);
         break;
       case Metric::kServeQps:
@@ -272,6 +278,7 @@ void JsonReporter::EndExperiment() {
     writer_.KeyString("metric", MetricName(spec_.metric));
     writer_.KeyString("workload", WorkloadName(spec_.workload));
     if (spec_.metric == Metric::kQueryMillis ||
+        spec_.metric == Metric::kQueryNanos ||
         spec_.metric == Metric::kServeQps) {
       writer_.KeyUint("num_queries", config_.num_queries);
     }

@@ -98,6 +98,69 @@ server_pid=""
 grep -q '^drained after ' "$workdir/server.err" \
   || fail "server did not report a drain"
 
+# Snapshot path: --save-index on a fresh build, then a restarted server
+# with --load-index must skip construction (the startup log proves it) and
+# serve byte-identical batch answers.
+batch_queries='0 4
+4 0
+1 3
+5 0
+0 5
+2 2'
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=1 --workers=2 \
+  --save-index="$workdir/index.snap" \
+  > "$workdir/save.out" 2> "$workdir/save.err" &
+server_pid=$!
+port_save=""
+for _ in $(seq 1 100); do
+  port_save=$(awk '/^LISTENING /{print $2}' "$workdir/save.out" 2>/dev/null)
+  [ -n "$port_save" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "save server exited early"
+  sleep 0.1
+done
+[ -n "$port_save" ] || fail "save server: no LISTENING line within 10s"
+[ -s "$workdir/index.snap" ] || fail "no index snapshot was written"
+grep -q '^index snapshot saved to ' "$workdir/save.err" \
+  || fail "save server did not log the snapshot"
+printf '%s\n' "$batch_queries" \
+  | "$CLIENT" --port="$port_save" > "$workdir/save_answers.out" \
+  || fail "save-leg client exited non-zero"
+bye=$("$CLIENT" --port="$port_save" --shutdown < /dev/null) \
+  || fail "save-leg shutdown client exited non-zero"
+[ "$bye" = "BYE" ] || fail "save leg: expected BYE, got '$bye'"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] || fail "save server exit code $server_status"
+
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=1 --workers=2 \
+  --load-index="$workdir/index.snap" \
+  > "$workdir/load.out" 2> "$workdir/load.err" &
+server_pid=$!
+port_load=""
+for _ in $(seq 1 100); do
+  port_load=$(awk '/^LISTENING /{print $2}' "$workdir/load.out" 2>/dev/null)
+  [ -n "$port_load" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "load server exited early"
+  sleep 0.1
+done
+[ -n "$port_load" ] || fail "load server: no LISTENING line within 10s"
+grep -q 'loaded index from .*skipped construction' "$workdir/load.err" \
+  || fail "load server did not report skipping construction"
+printf '%s\n' "$batch_queries" \
+  | "$CLIENT" --port="$port_load" > "$workdir/load_answers.out" \
+  || fail "load-leg client exited non-zero"
+if ! cmp -s "$workdir/save_answers.out" "$workdir/load_answers.out"; then
+  fail "snapshot-loaded answers differ from freshly-built answers"
+fi
+bye=$("$CLIENT" --port="$port_load" --shutdown < /dev/null) \
+  || fail "load-leg shutdown client exited non-zero"
+[ "$bye" = "BYE" ] || fail "load leg: expected BYE, got '$bye'"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] || fail "load server exit code $server_status"
+
 # Signal path: SIGTERM on an idle server (no client ever connected) must
 # drain and exit 0 — regression for a signal-initiated drain that never
 # woke Wait(), leaving the process killable only by SIGKILL.

@@ -5,11 +5,17 @@
 // shorter distance. A reachability query must evaluate the full distance
 // merge (no early exit), which is exactly the extra cost the paper observes
 // for PL in Tables 2/3.
+//
+// Storage follows the LabelStore lifecycle (core/label_store.h): the pruned
+// BFS sweeps append into per-vertex vectors, then BuildIndex seals both
+// sides into contiguous offsets[] + entries[] CSR arrays, so queries scan
+// two flat spans and IndexSizeBytes() is exact.
 
 #ifndef REACH_BASELINES_PRUNED_LANDMARK_H_
 #define REACH_BASELINES_PRUNED_LANDMARK_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,8 +57,36 @@ class PrunedLandmarkOracle : public ReachabilityOracle {
     uint32_t dist;  // Shortest distance between vertex and landmark.
   };
 
-  std::vector<std::vector<Entry>> out_;  // Landmarks this vertex reaches.
-  std::vector<std::vector<Entry>> in_;   // Landmarks reaching this vertex.
+  std::span<const Entry> OutLabel(Vertex u) const {
+    if (sealed_) {
+      return {out_entries_.data() + out_offsets_[u],
+              static_cast<size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+    }
+    return build_out_[u];
+  }
+  std::span<const Entry> InLabel(Vertex v) const {
+    if (sealed_) {
+      return {in_entries_.data() + in_offsets_[v],
+              static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+    }
+    return build_in_[v];
+  }
+
+  /// Compacts the build vectors into the CSR arrays (exact allocations).
+  void Seal();
+
+  bool sealed_ = false;
+  // Build phase: the pruned BFS prune predicate calls Distance() while the
+  // labels are still growing, so queries must work pre-seal too.
+  std::vector<std::vector<Entry>> build_out_;  // Landmarks this vertex
+                                               // reaches.
+  std::vector<std::vector<Entry>> build_in_;   // Landmarks reaching this
+                                               // vertex.
+  // Sealed phase: entries of vertex v occupy offsets[v] .. offsets[v + 1).
+  std::vector<uint64_t> out_offsets_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<Entry> out_entries_;
+  std::vector<Entry> in_entries_;
 };
 
 }  // namespace reach

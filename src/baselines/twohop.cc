@@ -35,7 +35,10 @@ Status TwoHopOracle::BuildIndex(const Digraph& dag) {
   const int threads = build_threads();
   const size_t n = dag.num_vertices();
   labeling_.Init(n);
-  if (n == 0) return Status::OK();
+  if (n == 0) {
+    labeling_.Seal();
+    return Status::OK();
+  }
 
   // Materialize TC and reverse TC (the structural cost of 2HOP).
   const size_t tc_budget =
@@ -202,6 +205,14 @@ Status TwoHopOracle::BuildIndex(const Digraph& dag) {
     }
     uncovered -= newly_covered;
   }
+  labeling_.Seal();
+  return Status::OK();
+}
+
+Status TwoHopOracle::LoadIndex(const Digraph& dag, std::istream& in) {
+  StatusOr<LabelStore> loaded = ReadLabelStoreFor(dag, in, "2HOP");
+  if (!loaded.ok()) return loaded.status();
+  labeling_ = std::move(*loaded);
   return Status::OK();
 }
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/labeling.h"
+#include "core/label_store.h"
 #include "core/oracle.h"
 #include "graph/digraph.h"
 
@@ -25,11 +25,19 @@ namespace reach {
 class TwoHopOracle : public ReachabilityOracle {
  protected:
   Status BuildIndex(const Digraph& dag) override;
+  Status LoadIndex(const Digraph& dag, std::istream& in) override;
 
  public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);
+  }
+
+  /// Snapshots: the whole query state is the sealed labeling blob, so a
+  /// restart can skip the TC materialization + set-cover greedy entirely.
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveIndex(std::ostream& out) const override {
+    return labeling_.Write(out);
   }
 
   std::string name() const override { return "2HOP"; }
@@ -38,10 +46,10 @@ class TwoHopOracle : public ReachabilityOracle {
   }
   uint64_t IndexSizeBytes() const override { return labeling_.MemoryBytes(); }
 
-  const HopLabeling& labeling() const { return labeling_; }
+  const LabelStore& labeling() const { return labeling_; }
 
  private:
-  HopLabeling labeling_;  // Hop keys are vertex ids.
+  LabelStore labeling_;  // Hop keys are vertex ids.
 };
 
 }  // namespace reach

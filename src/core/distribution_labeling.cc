@@ -70,7 +70,7 @@ std::vector<Vertex> ComputeDistributionOrder(
 
 void DistributeLabels(const Digraph& g, const std::vector<Vertex>& order,
                       const std::vector<uint32_t>& key_of,
-                      HopLabeling* labeling, int threads) {
+                      LabelStore* labeling, int threads) {
   const size_t n = g.num_vertices();
   std::vector<uint32_t> mark(n, 0);
   uint32_t epoch = 0;
@@ -123,6 +123,8 @@ Status DistributionLabelingOracle::BuildIndex(const Digraph& dag) {
 
   labeling_.Init(n);
   DistributeLabels(dag, order_, key_of, &labeling_, build_threads());
+  // Construction is done mutating: compact to the flat query layout.
+  labeling_.Seal();
 
   if (budget_.max_seconds > 0 && timer.ElapsedSeconds() > budget_.max_seconds) {
     return Status::ResourceExhausted("DL construction exceeded time budget");
@@ -131,6 +133,15 @@ Status DistributionLabelingOracle::BuildIndex(const Digraph& dag) {
       labeling_.TotalEntries() > budget_.max_index_integers) {
     return Status::ResourceExhausted("DL index exceeded size budget");
   }
+  return Status::OK();
+}
+
+Status DistributionLabelingOracle::LoadIndex(const Digraph& dag,
+                                             std::istream& in) {
+  StatusOr<LabelStore> loaded = ReadLabelStoreFor(dag, in, "DL");
+  if (!loaded.ok()) return loaded.status();
+  labeling_ = std::move(*loaded);
+  order_.clear();  // Construction metadata; not part of the snapshot.
   return Status::OK();
 }
 

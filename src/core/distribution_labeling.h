@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/labeling.h"
+#include "core/label_store.h"
 #include "core/oracle.h"
 #include "graph/digraph.h"
 #include "util/status.h"
@@ -53,7 +53,7 @@ struct DistributionOptions {
 /// thread count.
 void DistributeLabels(const Digraph& g, const std::vector<Vertex>& order,
                       const std::vector<uint32_t>& key_of,
-                      HopLabeling* labeling, int threads = 1);
+                      LabelStore* labeling, int threads = 1);
 
 /// Computes the processing order of `members` under the given policy.
 /// Deterministic for any `threads` (only the rank sweep is parallel).
@@ -69,11 +69,20 @@ class DistributionLabelingOracle : public ReachabilityOracle {
 
  protected:
   Status BuildIndex(const Digraph& dag) override;
+  Status LoadIndex(const Digraph& dag, std::istream& in) override;
 
  public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);
+  }
+
+  /// Snapshots: the whole query state is the sealed labeling blob. After
+  /// Load (as opposed to Build) order() is empty — it is construction
+  /// metadata, not query state.
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveIndex(std::ostream& out) const override {
+    return labeling_.Write(out);
   }
 
   std::string name() const override { return "DL"; }
@@ -84,14 +93,14 @@ class DistributionLabelingOracle : public ReachabilityOracle {
 
   /// Label storage (hops are total-order positions). Exposed for tests
   /// (non-redundancy) and serialization.
-  const HopLabeling& labeling() const { return labeling_; }
+  const LabelStore& labeling() const { return labeling_; }
 
   /// The vertex processed at order position i.
   const std::vector<Vertex>& order() const { return order_; }
 
  private:
   DistributionOptions options_;
-  HopLabeling labeling_;
+  LabelStore labeling_;
   std::vector<Vertex> order_;
 };
 

@@ -25,6 +25,27 @@ Status DynamicDistributionLabeling::BuildIndex(const Digraph& dag) {
   for (uint32_t i = 0; i < order_.size(); ++i) key_of_[order_[i]] = i;
   labeling_.Init(n);
   DistributeLabels(dag, order_, key_of_, &labeling_, build_threads());
+  // Sealed for serving; InsertEdge unseals on the first patch (and a
+  // Rebuild re-seals).
+  labeling_.Seal();
+  return Status::OK();
+}
+
+Status DynamicDistributionLabeling::LoadIndex(const Digraph& dag,
+                                              std::istream& in) {
+  StatusOr<LabelStore> loaded = ReadLabelStoreFor(dag, in, "DL+dyn");
+  if (!loaded.ok()) return loaded.status();
+  labeling_ = std::move(*loaded);
+  // Dynamic-overlay state starts fresh over the loaded base graph; the
+  // key/order tables are construction metadata a patch never reads.
+  base_ = dag;
+  inserted_.clear();
+  extra_out_.assign(dag.num_vertices(), {});
+  extra_in_.assign(dag.num_vertices(), {});
+  mark_.assign(dag.num_vertices(), 0);
+  epoch_ = 0;
+  order_.clear();
+  key_of_.clear();
   return Status::OK();
 }
 
@@ -74,7 +95,9 @@ Status DynamicDistributionLabeling::InsertEdge(Vertex u, Vertex v) {
   // in the old graph, so pairs through it were old and already covered.
   // (Keys are distinct per BFS, so "carried before this BFS" == "carried
   // before this insertion"; no same-patch contamination.)
-  const std::vector<uint32_t> keys = labeling_.Out(v);
+  labeling_.Unseal();  // Back to the mutable phase for the patch sweeps.
+  const std::span<const uint32_t> keys_span = labeling_.Out(v);
+  const std::vector<uint32_t> keys(keys_span.begin(), keys_span.end());
   std::vector<Vertex> queue;
   for (uint32_t key : keys) {
     if (SortedContains(labeling_.Out(u), key)) {

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "core/distribution_labeling.h"
-#include "core/labeling.h"
+#include "core/label_store.h"
 #include "core/oracle.h"
 #include "graph/digraph.h"
 #include "util/status.h"
@@ -43,11 +43,25 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
   /// Builds the initial labeling (identical to DistributionLabelingOracle).
  protected:
   Status BuildIndex(const Digraph& dag) override;
+  Status LoadIndex(const Digraph& dag, std::istream& in) override;
 
  public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);
+  }
+
+  /// Snapshots carry the (patched) labeling only, never the edge overlay:
+  /// Load(dag, in) treats `dag` as the new base graph with zero inserted
+  /// edges. Callers that inserted edges before saving must therefore pass
+  /// the ACCUMULATED graph (base plus every inserted edge — e.g. rebuilt
+  /// via CollectEdges + the inserted list) to Load; passing the original
+  /// base graph would answer queries correctly at first (the labels carry
+  /// the patches) but compute later InsertEdge patches and Rebuild() over
+  /// a graph that is missing the pre-save edges.
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveIndex(std::ostream& out) const override {
+    return labeling_.Write(out);
   }
 
   /// Inserts edge (u, v) and patches the labeling. Fails with
@@ -68,7 +82,7 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
   }
   uint64_t IndexSizeBytes() const override { return labeling_.MemoryBytes(); }
 
-  const HopLabeling& labeling() const { return labeling_; }
+  const LabelStore& labeling() const { return labeling_; }
 
  private:
   // Adjacency including inserted edges (CSR base + dynamic overlay).
@@ -80,7 +94,7 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
   std::vector<Edge> inserted_;
   std::vector<std::vector<Vertex>> extra_out_;
   std::vector<std::vector<Vertex>> extra_in_;
-  HopLabeling labeling_;
+  LabelStore labeling_;
   std::vector<Vertex> order_;          // Hop vertex by key.
   std::vector<uint32_t> key_of_;       // Vertex -> key.
   mutable std::vector<uint32_t> mark_;

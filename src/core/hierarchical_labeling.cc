@@ -39,7 +39,7 @@ size_t ScratchSlots(int threads, size_t work) {
 void LabelCoreByNeighborhood(const Digraph& core,
                              const std::vector<Vertex>& members,
                              uint32_t half_eps, int threads,
-                             HopLabeling* labeling) {
+                             LabelStore* labeling) {
   std::vector<BoundedBfs> bfs(ScratchSlots(threads, members.size()),
                               BoundedBfs(core.num_vertices()));
   ParallelChunks(0, members.size(), kLabelGrain, threads,
@@ -224,6 +224,16 @@ Status HierarchicalLabelingOracle::BuildIndex(const Digraph& dag) {
       labeling_.TotalEntries() > budget_.max_index_integers) {
     return Status::ResourceExhausted("HL index exceeded size budget");
   }
+  labeling_.Seal();
+  return Status::OK();
+}
+
+Status HierarchicalLabelingOracle::LoadIndex(const Digraph& dag,
+                                             std::istream& in) {
+  StatusOr<LabelStore> loaded = ReadLabelStoreFor(dag, in, "HL");
+  if (!loaded.ok()) return loaded.status();
+  labeling_ = std::move(*loaded);
+  hierarchy_.reset();  // Construction metadata; not part of the snapshot.
   return Status::OK();
 }
 

@@ -12,11 +12,12 @@
 #ifndef REACH_CORE_HIERARCHICAL_LABELING_H_
 #define REACH_CORE_HIERARCHICAL_LABELING_H_
 
+#include <cassert>
 #include <memory>
 #include <string>
 
 #include "core/hierarchy.h"
-#include "core/labeling.h"
+#include "core/label_store.h"
 #include "core/oracle.h"
 
 namespace reach {
@@ -53,11 +54,20 @@ class HierarchicalLabelingOracle : public ReachabilityOracle {
 
  protected:
   Status BuildIndex(const Digraph& dag) override;
+  Status LoadIndex(const Digraph& dag, std::istream& in) override;
 
  public:
 
   bool Reachable(Vertex u, Vertex v) const override {
     return u == v || labeling_.Query(u, v);
+  }
+
+  /// Snapshots: the whole query state is the sealed labeling blob. After
+  /// Load (as opposed to Build) hierarchy() is unavailable — the
+  /// decomposition is construction metadata, not query state.
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveIndex(std::ostream& out) const override {
+    return labeling_.Write(out);
   }
 
   std::string name() const override {
@@ -68,14 +78,22 @@ class HierarchicalLabelingOracle : public ReachabilityOracle {
   }
   uint64_t IndexSizeBytes() const override { return labeling_.MemoryBytes(); }
 
-  /// The decomposition (valid after Build); exposed for tests and examples.
-  const Hierarchy& hierarchy() const { return *hierarchy_; }
-  const HopLabeling& labeling() const { return labeling_; }
+  /// The decomposition (valid after Build, NOT after Load — a snapshot
+  /// carries only query state); exposed for tests and examples.
+  const Hierarchy& hierarchy() const {
+    assert(hierarchy_ != nullptr &&
+           "hierarchy() is only valid after Build(), not Load()");
+    return *hierarchy_;
+  }
+
+  /// False after Load (the decomposition is construction metadata).
+  bool has_hierarchy() const { return hierarchy_ != nullptr; }
+  const LabelStore& labeling() const { return labeling_; }
 
  private:
   HierarchicalOptions options_;
   std::unique_ptr<Hierarchy> hierarchy_;
-  HopLabeling labeling_;
+  LabelStore labeling_;
 };
 
 }  // namespace reach

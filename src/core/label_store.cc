@@ -1,0 +1,296 @@
+#include "core/label_store.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace reach {
+
+namespace {
+
+// "RLSTORE2": the sealed single-blob format. Version 2 replaced the
+// legacy per-vector HopLabeling dump ("LABEL01"), whose reader resized
+// from unvalidated untrusted size fields.
+constexpr uint64_t kMagic = 0x524c53544f524532ULL;
+
+// Keys of a hostile blob are read in bounded slices so a forged count
+// cannot make us allocate its full claimed size before the stream runs
+// dry (same discipline as graph_io's ReadBinary).
+constexpr size_t kKeySliceEntries = 1 << 16;
+
+Status WriteSide(const LabelStore& store, bool out_side, size_t n,
+                 uint64_t total, std::ostream& out) {
+  out.write(reinterpret_cast<const char*>(&total), sizeof(total));
+  for (Vertex v = 0; v < n; ++v) {
+    const std::span<const uint32_t> label =
+        out_side ? store.Out(v) : store.In(v);
+    const uint32_t count = static_cast<uint32_t>(label.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(label.data()),
+              static_cast<std::streamsize>(label.size() * sizeof(uint32_t)));
+  }
+  if (!out) return Status::IOError("label store write failed");
+  return Status::OK();
+}
+
+Status ReadSide(std::istream& in, size_t n, const char* side,
+                std::vector<uint64_t>* offsets, std::vector<uint32_t>* keys) {
+  uint64_t total = 0;
+  in.read(reinterpret_cast<char*>(&total), sizeof(total));
+  if (!in) return Status::Corruption("truncated label store header");
+  // Labels are strictly-ascending keys < n, so a vertex holds at most n of
+  // them and a side at most n * n. Division sidesteps the n * n overflow
+  // for n near 2^32.
+  if (n == 0 ? total != 0 : total / n > n) {
+    return Status::Corruption("label store " + std::string(side) +
+                              " total " + std::to_string(total) +
+                              " impossible for " + std::to_string(n) +
+                              " vertices");
+  }
+  // No n-sized or total-sized pre-allocation from the untrusted header:
+  // offsets grow one stream-backed row at a time, keys one bounded slice
+  // at a time, so a forged header wastes at most one slice before the
+  // read failure surfaces.
+  offsets->clear();
+  offsets->push_back(0);
+  keys->clear();
+  keys->reserve(static_cast<size_t>(std::min<uint64_t>(
+      total, kKeySliceEntries)));
+  std::vector<uint32_t> slice;
+  uint64_t consumed = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    uint32_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in) return Status::Corruption("truncated label store row");
+    if (count > n || count > total - consumed) {
+      return Status::Corruption("label store " + std::string(side) +
+                                " row " + std::to_string(v) + " count " +
+                                std::to_string(count) +
+                                " exceeds the declared total");
+    }
+    int64_t prev = -1;
+    for (size_t remaining = count; remaining > 0;) {
+      const size_t chunk = std::min(remaining, kKeySliceEntries);
+      slice.resize(chunk);
+      in.read(reinterpret_cast<char*>(slice.data()),
+              static_cast<std::streamsize>(chunk * sizeof(uint32_t)));
+      if (!in) return Status::Corruption("truncated label store row data");
+      for (const uint32_t key : slice) {
+        if (key >= n) {
+          return Status::Corruption("label store " + std::string(side) +
+                                    " row " + std::to_string(v) +
+                                    " key out of range");
+        }
+        if (static_cast<int64_t>(key) <= prev) {
+          return Status::Corruption("label store " + std::string(side) +
+                                    " row " + std::to_string(v) +
+                                    " keys not strictly ascending");
+        }
+        prev = static_cast<int64_t>(key);
+        keys->push_back(key);
+      }
+      remaining -= chunk;
+    }
+    consumed += count;
+    offsets->push_back(consumed);
+  }
+  if (consumed != total) {
+    return Status::Corruption("label store " + std::string(side) +
+                              " rows sum to " + std::to_string(consumed) +
+                              ", header declared " + std::to_string(total));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void LabelStore::Init(size_t num_vertices) {
+  num_vertices_ = num_vertices;
+  sealed_ = false;
+  build_out_.assign(num_vertices, {});
+  build_in_.assign(num_vertices, {});
+  offsets_out_.clear();
+  offsets_out_.shrink_to_fit();
+  offsets_in_.clear();
+  offsets_in_.shrink_to_fit();
+  keys_out_.clear();
+  keys_out_.shrink_to_fit();
+  keys_in_.clear();
+  keys_in_.shrink_to_fit();
+}
+
+void LabelStore::Canonicalize() {
+  assert(!sealed_);
+  for (auto& label : build_out_) SortUnique(&label);
+  for (auto& label : build_in_) SortUnique(&label);
+}
+
+void LabelStore::Seal() {
+  if (sealed_) return;
+  const size_t n = num_vertices_;
+  const auto seal_side = [n](std::vector<std::vector<uint32_t>>* build,
+                             std::vector<uint64_t>* offsets,
+                             std::vector<uint32_t>* keys) {
+    uint64_t total = 0;
+    for (const auto& label : *build) total += label.size();
+    // Exact-size allocations: after Seal, capacity == size on every array
+    // so MemoryBytes() is the true footprint.
+    offsets->clear();
+    offsets->reserve(n + 1);
+    keys->clear();
+    keys->reserve(static_cast<size_t>(total));
+    offsets->push_back(0);
+    for (const auto& label : *build) {
+      keys->insert(keys->end(), label.begin(), label.end());
+      offsets->push_back(keys->size());
+    }
+    build->clear();
+    build->shrink_to_fit();
+  };
+  seal_side(&build_out_, &offsets_out_, &keys_out_);
+  seal_side(&build_in_, &offsets_in_, &keys_in_);
+  sealed_ = true;
+}
+
+void LabelStore::Unseal() {
+  if (!sealed_) return;
+  const size_t n = num_vertices_;
+  const auto unseal_side = [n](std::vector<uint64_t>* offsets,
+                               std::vector<uint32_t>* keys,
+                               std::vector<std::vector<uint32_t>>* build) {
+    build->assign(n, {});
+    for (Vertex v = 0; v < n; ++v) {
+      (*build)[v].assign(keys->begin() + static_cast<ptrdiff_t>((*offsets)[v]),
+                         keys->begin() +
+                             static_cast<ptrdiff_t>((*offsets)[v + 1]));
+    }
+    offsets->clear();
+    offsets->shrink_to_fit();
+    keys->clear();
+    keys->shrink_to_fit();
+  };
+  unseal_side(&offsets_out_, &keys_out_, &build_out_);
+  unseal_side(&offsets_in_, &keys_in_, &build_in_);
+  sealed_ = false;
+}
+
+uint64_t LabelStore::TotalEntries() const {
+  if (sealed_) {
+    return static_cast<uint64_t>(keys_out_.size()) + keys_in_.size();
+  }
+  uint64_t total = 0;
+  for (const auto& label : build_out_) total += label.size();
+  for (const auto& label : build_in_) total += label.size();
+  return total;
+}
+
+size_t LabelStore::MaxLabelSize() const {
+  size_t max_size = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    max_size = std::max(max_size, Out(v).size() + In(v).size());
+  }
+  return max_size;
+}
+
+size_t LabelStore::MemoryBytes() const {
+  if (sealed_) {
+    return (offsets_out_.capacity() + offsets_in_.capacity()) *
+               sizeof(uint64_t) +
+           (keys_out_.capacity() + keys_in_.capacity()) * sizeof(uint32_t);
+  }
+  size_t bytes = (build_out_.capacity() + build_in_.capacity()) *
+                 sizeof(std::vector<uint32_t>);
+  for (const auto& label : build_out_) {
+    bytes += label.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& label : build_in_) {
+    bytes += label.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+Status LabelStore::Write(std::ostream& out) const {
+  const uint64_t magic = kMagic;
+  const uint64_t n = num_vertices_;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  uint64_t total_out = 0;
+  uint64_t total_in = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    total_out += Out(v).size();
+    total_in += In(v).size();
+  }
+  REACH_RETURN_IF_ERROR(WriteSide(*this, /*out_side=*/true, num_vertices_,
+                                  total_out, out));
+  REACH_RETURN_IF_ERROR(WriteSide(*this, /*out_side=*/false, num_vertices_,
+                                  total_in, out));
+  return Status::OK();
+}
+
+StatusOr<LabelStore> LabelStore::Read(std::istream& in) {
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    return Status::Corruption("bad label store magic");
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated label store header");
+  // Strictly within the uint32 id space: n == 2^32 would make the uint32
+  // per-vertex loops below unable to ever reach n (an unbounded read on a
+  // hostile stream), and no key could address the last vertex anyway.
+  if (n > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::Corruption("label store vertex count " +
+                              std::to_string(n) + " exceeds uint32 id space");
+  }
+  LabelStore store;
+  store.num_vertices_ = static_cast<size_t>(n);
+  store.sealed_ = true;
+  REACH_RETURN_IF_ERROR(ReadSide(in, store.num_vertices_, "Lout",
+                                 &store.offsets_out_, &store.keys_out_));
+  REACH_RETURN_IF_ERROR(ReadSide(in, store.num_vertices_, "Lin",
+                                 &store.offsets_in_, &store.keys_in_));
+  if (in.peek() != std::istream::traits_type::eof()) {
+    return Status::Corruption("trailing bytes after label store blob");
+  }
+  // The incremental reads grow with amortized slack; drop it so a loaded
+  // store reports the same exact MemoryBytes() as a freshly sealed one.
+  store.offsets_out_.shrink_to_fit();
+  store.offsets_in_.shrink_to_fit();
+  store.keys_out_.shrink_to_fit();
+  store.keys_in_.shrink_to_fit();
+  return store;
+}
+
+StatusOr<LabelStore> ReadLabelStoreFor(const Digraph& dag, std::istream& in,
+                                       const char* who) {
+  StatusOr<LabelStore> loaded = LabelStore::Read(in);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded->num_vertices() != dag.num_vertices()) {
+    return Status::Corruption(
+        std::string(who) + " snapshot covers " +
+        std::to_string(loaded->num_vertices()) + " vertices, graph has " +
+        std::to_string(dag.num_vertices()));
+  }
+  return loaded;
+}
+
+bool LabelStore::operator==(const LabelStore& other) const {
+  if (num_vertices_ != other.num_vertices_) return false;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    const std::span<const uint32_t> a_out = Out(v);
+    const std::span<const uint32_t> b_out = other.Out(v);
+    if (!std::equal(a_out.begin(), a_out.end(), b_out.begin(), b_out.end())) {
+      return false;
+    }
+    const std::span<const uint32_t> a_in = In(v);
+    const std::span<const uint32_t> b_in = other.In(v);
+    if (!std::equal(a_in.begin(), a_in.end(), b_in.begin(), b_in.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace reach

@@ -1,0 +1,181 @@
+// Two-phase hop-label storage (reachability oracle labels): per-vertex
+// Lout/Lin sets of 32-bit keys. A query u -> v is a sorted-array
+// intersection test (util/sorted_ops.h) — the paper (Section 1) points out
+// that storing labels in sorted arrays rather than sets removes the
+// query-time gap earlier studies reported for 2-hop labelings.
+//
+// Lifecycle:
+//
+//   build phase              Seal()              sealed phase
+//   ───────────              ──────              ────────────
+//   per-vertex               compacts both       offsets[] + keys[] CSR:
+//   std::vector labels,      sides into          one contiguous array per
+//   append/insert API        contiguous arrays   side, per-vertex spans,
+//   (construction mutates    and frees the       exact MemoryBytes(),
+//   labels constantly)       build vectors       cache-friendly queries
+//
+// Construction algorithms run in the build phase (they interleave reads
+// and inserts); BuildIndex seals once the labeling is final, so every
+// query after a successful Build touches two contiguous spans instead of
+// chasing two heap-scattered vectors. Unseal() expands back for the
+// dynamic oracle's incremental patches. Queries work in either phase and
+// answer identically.
+//
+// The key space is algorithm-defined: Distribution Labeling stores
+// total-order positions (labels stay sorted by construction), Hierarchical
+// Labeling and 2HOP store vertex ids. Either way every key is < n, which
+// the serialized form validates (see Read).
+
+#ifndef REACH_CORE_LABEL_STORE_H_
+#define REACH_CORE_LABEL_STORE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/sorted_ops.h"
+#include "util/status.h"
+
+namespace reach {
+
+/// Two-sided hop labeling over a fixed vertex set; see header comment for
+/// the build/sealed lifecycle.
+class LabelStore {
+ public:
+  LabelStore() = default;
+  explicit LabelStore(size_t num_vertices) { Init(num_vertices); }
+
+  /// Resets to an empty build-phase store over `num_vertices` vertices.
+  void Init(size_t num_vertices);
+
+  size_t num_vertices() const { return num_vertices_; }
+  bool sealed() const { return sealed_; }
+
+  // --- Build-phase mutation (requires !sealed()). -------------------------
+
+  std::vector<uint32_t>* MutableOut(Vertex v) {
+    assert(!sealed_);
+    return &build_out_[v];
+  }
+  std::vector<uint32_t>* MutableIn(Vertex v) {
+    assert(!sealed_);
+    return &build_in_[v];
+  }
+
+  /// Appends a key that is known to be greater than every key already in
+  /// the label (Distribution Labeling's append pattern).
+  void AppendOut(Vertex v, uint32_t key) {
+    assert(!sealed_);
+    build_out_[v].push_back(key);
+  }
+  void AppendIn(Vertex v, uint32_t key) {
+    assert(!sealed_);
+    build_in_[v].push_back(key);
+  }
+
+  /// Inserts a key keeping the label sorted (used with vertex-id keys).
+  void InsertOut(Vertex v, uint32_t key) {
+    assert(!sealed_);
+    SortedInsert(&build_out_[v], key);
+  }
+  void InsertIn(Vertex v, uint32_t key) {
+    assert(!sealed_);
+    SortedInsert(&build_in_[v], key);
+  }
+
+  /// Sorts and deduplicates every label (for algorithms that bulk-append).
+  void Canonicalize();
+
+  // --- Phase transitions. -------------------------------------------------
+
+  /// Compacts both sides into contiguous offsets[] + keys[] arrays and
+  /// frees the build vectors. Queries and every read-only accessor keep
+  /// answering identically. Idempotent.
+  void Seal();
+
+  /// Expands the CSR arrays back into per-vertex vectors so the mutation
+  /// API works again (dynamic labeling's incremental patches). Idempotent.
+  void Unseal();
+
+  // --- Reads (either phase). ----------------------------------------------
+
+  std::span<const uint32_t> Out(Vertex v) const {
+    if (sealed_) {
+      return {keys_out_.data() + offsets_out_[v],
+              static_cast<size_t>(offsets_out_[v + 1] - offsets_out_[v])};
+    }
+    return build_out_[v];
+  }
+  std::span<const uint32_t> In(Vertex v) const {
+    if (sealed_) {
+      return {keys_in_.data() + offsets_in_[v],
+              static_cast<size_t>(offsets_in_[v + 1] - offsets_in_[v])};
+    }
+    return build_in_[v];
+  }
+
+  /// True iff Lout(u) and Lin(v) share a hop (adaptive intersection).
+  bool Query(Vertex u, Vertex v) const {
+    if (sealed_) {
+      const uint32_t* ko = keys_out_.data();
+      const uint32_t* ki = keys_in_.data();
+      return SortedIntersects(
+          {ko + offsets_out_[u],
+           static_cast<size_t>(offsets_out_[u + 1] - offsets_out_[u])},
+          {ki + offsets_in_[v],
+           static_cast<size_t>(offsets_in_[v + 1] - offsets_in_[v])});
+    }
+    return SortedIntersects(build_out_[u], build_in_[v]);
+  }
+
+  /// Total number of stored label entries, i.e. the paper's "index size in
+  /// number of integers" metric (Figures 3 and 4).
+  uint64_t TotalEntries() const;
+
+  /// Largest |Lout(v)| + |Lin(v)| over all vertices.
+  size_t MaxLabelSize() const;
+
+  /// Heap footprint. Exact in the sealed phase (the CSR arrays are the
+  /// whole store: offsets + keys, no per-vector headers or capacity
+  /// slack); in the build phase an estimate including vector headers and
+  /// capacity.
+  size_t MemoryBytes() const;
+
+  /// Binary serialization (local-endian). Writes the sealed single-blob
+  /// format from either phase; Read validates the untrusted blob
+  /// (header magic, bounds, per-label sorted-unique keys < n, exact
+  /// trailing-byte check) and returns a sealed store.
+  Status Write(std::ostream& out) const;
+  static StatusOr<LabelStore> Read(std::istream& in);
+
+  /// Logical equality: same vertex count and per-vertex labels, regardless
+  /// of phase (a sealed store equals its unsealed twin).
+  bool operator==(const LabelStore& other) const;
+
+ private:
+  size_t num_vertices_ = 0;
+  bool sealed_ = false;
+  // Build phase.
+  std::vector<std::vector<uint32_t>> build_out_;
+  std::vector<std::vector<uint32_t>> build_in_;
+  // Sealed phase: keys of vertex v occupy keys_xxx_[offsets_xxx_[v] ..
+  // offsets_xxx_[v + 1]). offsets arrays have num_vertices_ + 1 entries.
+  std::vector<uint64_t> offsets_out_;
+  std::vector<uint64_t> offsets_in_;
+  std::vector<uint32_t> keys_out_;
+  std::vector<uint32_t> keys_in_;
+};
+
+/// Shared LoadIndex body of the labeling oracles: reads a snapshot blob
+/// and cross-checks its vertex count against `dag`'s (`who` names the
+/// oracle in error messages). Validation of the blob itself lives in
+/// LabelStore::Read.
+StatusOr<LabelStore> ReadLabelStoreFor(const Digraph& dag, std::istream& in,
+                                       const char* who);
+
+}  // namespace reach
+
+#endif  // REACH_CORE_LABEL_STORE_H_

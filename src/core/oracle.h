@@ -6,6 +6,7 @@
 #define REACH_CORE_ORACLE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -88,6 +89,27 @@ class ReachabilityOracle {
   /// guarantee (BuildOptions::threads) it affects wall time only.
   Status Build(const Digraph& dag, const BuildOptions& options);
 
+  /// Restores a previously saved index for `dag` from `in` instead of
+  /// constructing it — the restart-without-rebuild path. Like Build it may
+  /// run exactly once, records build_stats() (build_millis is the load
+  /// time), and leaves the oracle ready to answer queries for exactly the
+  /// graph the snapshot was saved from; callers are responsible for pairing
+  /// snapshot and graph (the sealed blob carries the vertex count, which is
+  /// cross-checked, but not the edges). NotSupported unless
+  /// SupportsSnapshot().
+  Status Load(const Digraph& dag, std::istream& in);
+
+  /// Writes the built index to `out` in the method's sealed snapshot
+  /// format (core/label_store.h for the labeling oracles). Only valid
+  /// after a successful Build or Load. NotSupported unless
+  /// SupportsSnapshot().
+  virtual Status SaveIndex(std::ostream& out) const;
+
+  /// True when this oracle implements SaveIndex/Load. The labeling-based
+  /// methods (DL, HL/TF, 2HOP, DL+dyn) do: their whole query state is one
+  /// sealed LabelStore blob. Traversal- and TC-based methods do not.
+  virtual bool SupportsSnapshot() const { return false; }
+
   /// True iff u reaches v. Only valid after a successful Build.
   virtual bool Reachable(Vertex u, Vertex v) const = 0;
 
@@ -116,6 +138,11 @@ class ReachabilityOracle {
  protected:
   /// Method-specific construction; invoked exactly once by Build().
   virtual Status BuildIndex(const Digraph& dag) = 0;
+
+  /// Method-specific snapshot restore; invoked exactly once by Load().
+  /// Implementations must validate the (untrusted) stream and leave the
+  /// oracle answering exactly as the saved one did.
+  virtual Status LoadIndex(const Digraph& dag, std::istream& in);
 
   /// The resolved worker count for the current Build() call (always >= 1).
   /// Valid inside BuildIndex(); implementations pass it to ParallelFor /

@@ -15,4 +15,21 @@ StatusOr<ReachabilityIndex> ReachabilityIndex::Build(
   return ReachabilityIndex(std::move(condensation), std::move(oracle));
 }
 
+StatusOr<ReachabilityIndex> ReachabilityIndex::Load(
+    const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
+    std::istream& in, BuildStats* stats_out) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  // The condensation is recomputed (linear time); only the oracle's index —
+  // the expensive part — comes from the snapshot. It was saved over the
+  // condensation of the same graph, so the vertex-count cross-check inside
+  // LoadIndex catches a snapshot/graph mismatch.
+  Condensation condensation = CondenseToDag(g);
+  const Status status = oracle->Load(condensation.dag, in);
+  if (stats_out != nullptr) *stats_out = oracle->build_stats();
+  REACH_RETURN_IF_ERROR(status);
+  return ReachabilityIndex(std::move(condensation), std::move(oracle));
+}
+
 }  // namespace reach

@@ -36,6 +36,14 @@ class ReachabilityIndex {
       const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
       const BuildOptions& options = {}, BuildStats* stats_out = nullptr);
 
+  /// As Build, but restores the oracle's index from a snapshot stream
+  /// (ReachabilityOracle::SaveIndex of an oracle built on the same graph)
+  /// instead of constructing it — only the SCC condensation is recomputed.
+  /// The restart-without-rebuild path of reach_serve --load-index.
+  static StatusOr<ReachabilityIndex> Load(
+      const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
+      std::istream& in, BuildStats* stats_out = nullptr);
+
   /// True iff a directed path from u to v exists in the original graph
   /// (trivially true when u == v or both lie in one SCC).
   bool Reachable(Vertex u, Vertex v) const {

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "baselines/factory.h"
@@ -19,6 +20,66 @@ namespace reach {
 namespace server {
 
 namespace {
+
+// "RSNAPSH1": framing for an index snapshot file — method + graph shape,
+// then the oracle's own sealed SaveIndex blob (which carries its own magic
+// and validation; see core/label_store.h).
+constexpr uint64_t kSnapshotMagic = 0x52534e4150534831ULL;
+constexpr uint32_t kSnapshotMaxMethodLen = 64;
+
+Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
+                           const Digraph& graph) {
+  const uint64_t magic = kSnapshotMagic;
+  const uint32_t method_len = static_cast<uint32_t>(method.size());
+  const uint64_t vertices = graph.num_vertices();
+  const uint64_t edges = graph.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&method_len), sizeof(method_len));
+  out.write(method.data(), method_len);
+  out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
+  out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  if (!out) return Status::IOError("snapshot header write failed");
+  return Status::OK();
+}
+
+/// Validates the untrusted snapshot framing against what this server is
+/// about to serve: same method, same graph shape. The oracle blob that
+/// follows revalidates itself (bounds, sortedness, trailing bytes).
+Status ReadSnapshotHeader(std::istream& in, const std::string& method,
+                          const Digraph& graph) {
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kSnapshotMagic) {
+    return Status::Corruption("bad index snapshot magic");
+  }
+  uint32_t method_len = 0;
+  in.read(reinterpret_cast<char*>(&method_len), sizeof(method_len));
+  if (!in || method_len == 0 || method_len > kSnapshotMaxMethodLen) {
+    return Status::Corruption("bad index snapshot method length");
+  }
+  std::string saved_method(method_len, '\0');
+  in.read(saved_method.data(), method_len);
+  if (!in) return Status::Corruption("truncated index snapshot header");
+  if (saved_method != method) {
+    return Status::InvalidArgument("index snapshot was saved for method '" +
+                                   saved_method + "', server is running '" +
+                                   method + "'");
+  }
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  in.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
+  in.read(reinterpret_cast<char*>(&edges), sizeof(edges));
+  if (!in) return Status::Corruption("truncated index snapshot header");
+  if (vertices != graph.num_vertices() || edges != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "index snapshot was saved for a graph with " +
+        std::to_string(vertices) + " vertices / " + std::to_string(edges) +
+        " edges; the loaded graph has " +
+        std::to_string(graph.num_vertices()) + " / " +
+        std::to_string(graph.num_edges()));
+  }
+  return Status::OK();
+}
 
 /// send() the whole buffer, retrying partial writes and EINTR. MSG_NOSIGNAL
 /// turns a peer that vanished mid-response into an error return instead of
@@ -62,12 +123,62 @@ Status ReachServer::Start(const Digraph& graph,
                                    "'");
   }
   oracle->set_budget(options.budget);
-  BuildOptions build_options;
-  build_options.threads = options.build_threads;
-  StatusOr<ReachabilityIndex> index = ReachabilityIndex::Build(
-      graph, std::move(oracle), build_options, &build_stats_);
-  if (!index.ok()) return index.status();
-  index_.emplace(std::move(*index));
+  if (!options.save_index_path.empty() &&
+      !options.load_index_path.empty()) {
+    // Refuse the ambiguous combination rather than silently ignoring the
+    // save path (the load branch skips the build the save would record).
+    return Status::InvalidArgument(
+        "save_index_path and load_index_path are mutually exclusive");
+  }
+  if ((!options.save_index_path.empty() ||
+       !options.load_index_path.empty()) &&
+      !oracle->SupportsSnapshot()) {
+    // Fail before paying for a build whose snapshot write would then be
+    // refused (or a condensation whose load would).
+    return Status::InvalidArgument(
+        "method '" + options.method +
+        "' does not support index snapshots (snapshot-capable: DL, HL, TF, "
+        "2HOP)");
+  }
+  if (!options.load_index_path.empty()) {
+    // Restart-without-rebuild: restore the saved index instead of paying
+    // construction again. Only the SCC condensation is recomputed.
+    std::ifstream snapshot(options.load_index_path, std::ios::binary);
+    if (!snapshot) {
+      return Status::IOError("cannot open index snapshot " +
+                             options.load_index_path);
+    }
+    REACH_RETURN_IF_ERROR(
+        ReadSnapshotHeader(snapshot, options.method, graph));
+    StatusOr<ReachabilityIndex> index = ReachabilityIndex::Load(
+        graph, std::move(oracle), snapshot, &build_stats_);
+    if (!index.ok()) return index.status();
+    index_.emplace(std::move(*index));
+    loaded_from_snapshot_ = true;
+  } else {
+    BuildOptions build_options;
+    build_options.threads = options.build_threads;
+    StatusOr<ReachabilityIndex> index = ReachabilityIndex::Build(
+        graph, std::move(oracle), build_options, &build_stats_);
+    if (!index.ok()) return index.status();
+    index_.emplace(std::move(*index));
+    if (!options.save_index_path.empty()) {
+      std::ofstream snapshot(options.save_index_path,
+                             std::ios::binary | std::ios::trunc);
+      if (!snapshot) {
+        return Status::IOError("cannot create index snapshot " +
+                               options.save_index_path);
+      }
+      REACH_RETURN_IF_ERROR(
+          WriteSnapshotHeader(snapshot, options.method, graph));
+      REACH_RETURN_IF_ERROR(index_->oracle().SaveIndex(snapshot));
+      snapshot.flush();
+      if (!snapshot) {
+        return Status::IOError("index snapshot write to " +
+                               options.save_index_path + " failed");
+      }
+    }
+  }
 
   context_.index = &*index_;
   context_.method = options.method;

@@ -59,6 +59,16 @@ struct ServerOptions {
   /// Construction budget (core/oracle.h); default unlimited. The serve
   /// benchmark uses this to reproduce "--" (did-not-finish) cells.
   BuildBudget budget;
+  /// Non-empty: after a successful build, write the index snapshot (framed
+  /// header + the oracle's sealed SaveIndex blob) to this path, so a later
+  /// Start with load_index_path skips construction entirely. Requires a
+  /// registry method whose oracle SupportsSnapshot() (DL, HL, TF, 2HOP).
+  std::string save_index_path;
+  /// Non-empty: restore the index from this snapshot instead of building
+  /// it (restart-without-rebuild). The snapshot must have been saved for
+  /// the same method and graph; any mismatch fails Start. Mutually
+  /// exclusive with save_index_path.
+  std::string load_index_path;
   ProtocolLimits limits;
 };
 
@@ -84,8 +94,13 @@ class ReachServer {
   uint16_t port() const { return port_; }
 
   /// Construction outcome of the oracle build attempt; valid after Start
-  /// returns, even when the build itself failed (budget exceeded).
+  /// returns, even when the build itself failed (budget exceeded). After a
+  /// snapshot load, build_millis is the load time.
   const BuildStats& build_stats() const { return build_stats_; }
+
+  /// True when Start restored the index from options.load_index_path
+  /// instead of constructing it.
+  bool loaded_from_snapshot() const { return loaded_from_snapshot_; }
 
   /// Live service counters (shared with every session).
   const ServerStats& stats() const { return stats_; }
@@ -133,6 +148,7 @@ class ReachServer {
   std::atomic<int> wake_wr_{-1};
   uint16_t port_ = 0;
   bool started_ = false;
+  bool loaded_from_snapshot_ = false;
   bool draining_ = false;
   bool accept_done_ = false;
   std::set<int> session_fds_;

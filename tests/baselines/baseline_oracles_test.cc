@@ -165,6 +165,26 @@ TEST(PrunedLandmarkTest, DistanceOnChain) {
   EXPECT_EQ(oracle.Distance(10, 2), PrunedLandmarkOracle::kUnreachable);
 }
 
+TEST(PrunedLandmarkTest, RebuildResetsSealedState) {
+  // Regression: a second Build on the same oracle must re-enter the build
+  // phase — a stale sealed_ flag would make the prune predicate read the
+  // first build's CSR arrays and silently mislabel the second graph.
+  PrunedLandmarkOracle oracle;
+  ASSERT_TRUE(oracle.Build(RandomDag(120, 320, 31)).ok());
+  Digraph g = RandomDag(140, 380, 32);
+  ASSERT_TRUE(oracle.Build(g).ok());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    auto dist = BfsDistances(g, u);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const uint32_t expected = dist[v] == UINT32_MAX
+                                    ? PrunedLandmarkOracle::kUnreachable
+                                    : dist[v];
+      ASSERT_EQ(oracle.Distance(u, v), expected)
+          << "pair (" << u << "," << v << ") after rebuild";
+    }
+  }
+}
+
 // --- 2HOP ---
 
 TEST(TwoHopTest, LabelingSizeIsReasonable) {

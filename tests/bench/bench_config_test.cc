@@ -220,6 +220,7 @@ TEST(ApplyOverridesTest, ThreadsDefaultsToZeroAndFollowsTheFlag) {
 
 TEST(MetricNamesTest, StableMachineReadableNames) {
   EXPECT_EQ(MetricName(Metric::kQueryMillis), "query_ms_per_100k");
+  EXPECT_EQ(MetricName(Metric::kQueryNanos), "query_ns");
   EXPECT_EQ(MetricName(Metric::kConstructionMillis), "construction_ms");
   EXPECT_EQ(MetricName(Metric::kIndexIntegers), "index_integers");
   EXPECT_EQ(WorkloadName(WorkloadKind::kEqual), "equal");

@@ -20,8 +20,8 @@ TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
   }
   const char* expected[] = {"table1", "table2", "table3", "table4",
                             "table5", "table6", "table7", "fig3",
-                            "fig4",   "serve_quick"};
-  EXPECT_EQ(counts.size(), 10u);
+                            "fig4",   "serve_quick", "query_quick"};
+  EXPECT_EQ(counts.size(), 11u);
   for (const char* id : expected) {
     EXPECT_EQ(counts[id], 1) << id;
   }
@@ -31,7 +31,7 @@ TEST(ExperimentRegistryTest, IdsInPaperOrder) {
   EXPECT_EQ(ExperimentIds(),
             (std::vector<std::string>{"table1", "table2", "table3", "table4",
                                       "table5", "table6", "table7", "fig3",
-                                      "fig4", "serve_quick"}));
+                                      "fig4", "serve_quick", "query_quick"}));
 }
 
 TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
@@ -58,6 +58,7 @@ TEST(ExperimentRegistryTest, SpecShapesAreConsistent) {
     // Query-driven experiments need a workload; the others must not have
     // one.
     if (spec.metric == Metric::kQueryMillis ||
+        spec.metric == Metric::kQueryNanos ||
         spec.metric == Metric::kServeQps) {
       EXPECT_NE(spec.workload, WorkloadKind::kNone) << spec.id;
     } else {
@@ -74,7 +75,7 @@ TEST(ExperimentRegistryTest, SmallAndLargeTiersBothCovered) {
     if (spec.kind != ExperimentKind::kTable) continue;
     (spec.large ? large : small) += 1;
   }
-  EXPECT_EQ(small, 4u);  // table2, table3, table4, fig3.
+  EXPECT_EQ(small, 5u);  // table2, table3, table4, fig3, query_quick.
   EXPECT_EQ(large, 4u);  // table5, table6, table7, fig4.
 }
 
@@ -141,6 +142,25 @@ TEST(ExperimentRegistryTest, ServeQuickShape) {
   // Full-tier experiments must not cover datasets outside the subset.
   EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
   EXPECT_FALSE(spec->default_methods.empty());
+}
+
+TEST(ExperimentRegistryTest, QueryQuickShape) {
+  const auto spec = FindExperiment("query_quick");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, ExperimentKind::kTable);
+  EXPECT_EQ(spec->metric, Metric::kQueryNanos);
+  EXPECT_EQ(spec->workload, WorkloadKind::kEqual);
+  EXPECT_FALSE(spec->large);
+  // The rows are the three biggest small-tier graphs, where the hot-path
+  // win is measurable; the column set is the labeling oracles the sealed
+  // layout moves.
+  EXPECT_EQ(spec->dataset_subset,
+            (std::vector<std::string>{"arxiv", "human", "p2p"}));
+  EXPECT_EQ(spec->default_methods,
+            (std::vector<std::string>{"DL", "HL", "TF", "PL"}));
+  const std::vector<DatasetSpec> rows = DatasetsFor(*spec);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // sweeps past their sequential-fallback cutoffs.
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -89,7 +90,15 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
-// Where label storage is exposed, check byte-level equality outright.
+// Where label storage is exposed, check byte-level equality outright:
+// logical label equality AND identical serialized sealed blobs (the
+// snapshot a server would save must not depend on the thread count).
+
+std::string SerializedLabels(const LabelStore& labels) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(labels.Write(ss).ok());
+  return ss.str();
+}
 
 TEST(BuildDeterminismExactTest, DistributionLabelingIsByteIdentical) {
   const Digraph dag = RandomDag(800, 4000, 21);
@@ -101,6 +110,9 @@ TEST(BuildDeterminismExactTest, DistributionLabelingIsByteIdentical) {
     EXPECT_EQ(parallel.order(), sequential.order()) << threads;
     EXPECT_TRUE(parallel.labeling() == sequential.labeling())
         << "DL labels differ at threads=" << threads;
+    EXPECT_EQ(SerializedLabels(parallel.labeling()),
+              SerializedLabels(sequential.labeling()))
+        << "DL sealed blob differs at threads=" << threads;
   }
 }
 
@@ -113,10 +125,13 @@ TEST(BuildDeterminismExactTest, HierarchicalLabelingIsByteIdentical) {
     ASSERT_TRUE(parallel.Build(dag, WithThreads(threads)).ok());
     EXPECT_TRUE(parallel.labeling() == sequential.labeling())
         << "HL labels differ at threads=" << threads;
+    EXPECT_EQ(SerializedLabels(parallel.labeling()),
+              SerializedLabels(sequential.labeling()))
+        << "HL sealed blob differs at threads=" << threads;
   }
 }
 
-TEST(BuildDeterminismExactTest, TwoHopLabelingIsByteIdentical) {
+TEST(BuildDeterminismExactTest, TwoHopLabelStoreIsByteIdentical) {
   const Digraph dag = RandomDag(400, 1600, 23);
   TwoHopOracle sequential;
   ASSERT_TRUE(sequential.Build(dag, WithThreads(1)).ok());
@@ -125,6 +140,9 @@ TEST(BuildDeterminismExactTest, TwoHopLabelingIsByteIdentical) {
     ASSERT_TRUE(parallel.Build(dag, WithThreads(threads)).ok());
     EXPECT_TRUE(parallel.labeling() == sequential.labeling())
         << "2HOP labels differ at threads=" << threads;
+    EXPECT_EQ(SerializedLabels(parallel.labeling()),
+              SerializedLabels(sequential.labeling()))
+        << "2HOP sealed blob differs at threads=" << threads;
   }
 }
 

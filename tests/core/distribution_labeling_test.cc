@@ -50,13 +50,13 @@ TEST(DistributionLabelingTest, NonRedundancyTheorem4) {
     ASSERT_TRUE(oracle.Build(g).ok());
     auto tc = TransitiveClosure::Compute(g);
     ASSERT_TRUE(tc.ok());
-    const HopLabeling& labels = oracle.labeling();
+    const LabelStore& labels = oracle.labeling();
     const size_t n = g.num_vertices();
 
     // Coverage in the paper's sense: Cov(v) = TC^-1(v) x TC(v) includes the
     // reflexive pairs, so the labeling itself (not the u == v fast path)
     // must certify them — that is what makes every self-hop non-redundant.
-    auto complete = [&](const HopLabeling& l) {
+    auto complete = [&](const LabelStore& l) {
       for (Vertex u = 0; u < n; ++u) {
         for (Vertex v = 0; v < n; ++v) {
           if (tc->Reachable(u, v) != l.Query(u, v)) return false;
@@ -66,17 +66,20 @@ TEST(DistributionLabelingTest, NonRedundancyTheorem4) {
     };
     ASSERT_TRUE(complete(labels));
 
-    // Remove each entry in turn and expect incompleteness.
+    // Remove each entry in turn and expect incompleteness. BuildIndex
+    // sealed the labeling; mutate an unsealed copy (same answers).
     for (Vertex v = 0; v < n; ++v) {
       for (size_t i = 0; i < labels.Out(v).size(); ++i) {
-        HopLabeling mutated = labels;
+        LabelStore mutated = labels;
+        mutated.Unseal();
         auto* out = mutated.MutableOut(v);
         out->erase(out->begin() + static_cast<ptrdiff_t>(i));
         EXPECT_FALSE(complete(mutated))
             << "Lout(" << v << ") entry " << i << " was redundant";
       }
       for (size_t i = 0; i < labels.In(v).size(); ++i) {
-        HopLabeling mutated = labels;
+        LabelStore mutated = labels;
+        mutated.Unseal();
         auto* in = mutated.MutableIn(v);
         in->erase(in->begin() + static_cast<ptrdiff_t>(i));
         EXPECT_FALSE(complete(mutated))

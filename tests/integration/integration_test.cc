@@ -8,6 +8,7 @@
 
 #include "baselines/factory.h"
 #include "core/distribution_labeling.h"
+#include "core/dynamic_labeling.h"
 #include "core/reachability.h"
 #include "datasets/registry.h"
 #include "graph/generators.h"
@@ -113,7 +114,7 @@ TEST(IntegrationTest, LabelingSerializationSurvivesReload) {
 
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(oracle.labeling().Write(ss).ok());
-  auto reloaded = HopLabeling::Read(ss);
+  auto reloaded = LabelStore::Read(ss);
   ASSERT_TRUE(reloaded.ok());
 
   Rng rng(89);
@@ -121,6 +122,135 @@ TEST(IntegrationTest, LabelingSerializationSurvivesReload) {
     const Vertex u = static_cast<Vertex>(rng.Uniform(400));
     const Vertex v = static_cast<Vertex>(rng.Uniform(400));
     EXPECT_EQ(u == v || reloaded->Query(u, v), oracle.Reachable(u, v));
+  }
+}
+
+TEST(IntegrationTest, IndexSnapshotRoundTripsAcrossOracles) {
+  // Acceptance gate for the sealed snapshot: Save -> fresh oracle -> Load
+  // answers the full query matrix identically, for every snapshot-capable
+  // labeling method.
+  Digraph g = RandomDag(260, 700, 90);
+  for (const std::string name : {"DL", "HL", "TF", "2HOP"}) {
+    auto built = MakeOracle(name);
+    ASSERT_NE(built, nullptr) << name;
+    ASSERT_TRUE(built->Build(g).ok()) << name;
+    ASSERT_TRUE(built->SupportsSnapshot()) << name;
+
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(built->SaveIndex(ss).ok()) << name;
+
+    auto loaded = MakeOracle(name);
+    ASSERT_TRUE(loaded->Load(g, ss).ok()) << name;
+    EXPECT_TRUE(loaded->build_stats().ok) << name;
+    EXPECT_EQ(loaded->IndexSizeIntegers(), built->IndexSizeIntegers())
+        << name;
+    EXPECT_EQ(loaded->IndexSizeBytes(), built->IndexSizeBytes()) << name;
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(loaded->Reachable(u, v), built->Reachable(u, v))
+            << name << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, DynamicOracleSnapshotAcceptsInsertsAfterLoad) {
+  // The dynamic oracle (not in the bench factory) restores query state
+  // from the blob and keeps accepting patches on top of it. Per the
+  // documented contract, a snapshot saved after patching pairs with the
+  // ACCUMULATED graph (base + inserted edges), so post-load patches and
+  // rebuilds see every edge the labels already certify.
+  Digraph g = RandomDag(200, 500, 94);
+  DynamicDistributionLabeling built;
+  ASSERT_TRUE(built.Build(g).ok());
+  // Patch before saving: connect two mutually-unreachable vertices.
+  Vertex patched_to = 0;
+  for (Vertex u = 1; u < g.num_vertices(); ++u) {
+    if (!built.Reachable(0, u) && !built.Reachable(u, 0)) {
+      ASSERT_TRUE(built.InsertEdge(0, u).ok());
+      patched_to = u;
+      break;
+    }
+  }
+  ASSERT_NE(patched_to, 0u) << "graph unexpectedly strongly connected";
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(built.SaveIndex(ss).ok());
+
+  // The accumulated graph the snapshot pairs with.
+  std::vector<Edge> edges = g.CollectEdges();
+  edges.push_back(Edge{0, patched_to});
+  Digraph accumulated =
+      Digraph::FromEdges(g.num_vertices(), std::move(edges));
+
+  DynamicDistributionLabeling loaded;
+  ASSERT_TRUE(loaded.Load(accumulated, ss).ok());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(loaded.Reachable(u, v), built.Reachable(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+  // Further patches after the reload still work...
+  for (Vertex u = 1; u < g.num_vertices(); ++u) {
+    if (!loaded.Reachable(patched_to, u) && !loaded.Reachable(u, 0) &&
+        !loaded.Reachable(u, patched_to)) {
+      ASSERT_TRUE(loaded.InsertEdge(patched_to, u).ok());
+      EXPECT_TRUE(loaded.Reachable(patched_to, u));
+      // ...and so does a full rebuild, without losing the pre-save edge.
+      ASSERT_TRUE(loaded.Rebuild().ok());
+      EXPECT_TRUE(loaded.Reachable(0, patched_to));
+      EXPECT_TRUE(loaded.Reachable(patched_to, u));
+      break;
+    }
+  }
+}
+
+TEST(IntegrationTest, SnapshotLoadRejectsMismatchedGraph) {
+  Digraph g = RandomDag(100, 250, 91);
+  DistributionLabelingOracle built;
+  ASSERT_TRUE(built.Build(g).ok());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(built.SaveIndex(ss).ok());
+
+  Digraph other = RandomDag(101, 250, 92);
+  DistributionLabelingOracle loaded;
+  const Status status = loaded.Load(other, ss);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_FALSE(loaded.build_stats().ok);
+}
+
+TEST(IntegrationTest, SnapshotNotSupportedOracleSaysSo) {
+  Digraph g = RandomDag(50, 120, 93);
+  auto oracle = MakeOracle("INT");
+  ASSERT_TRUE(oracle->Build(g).ok());
+  EXPECT_FALSE(oracle->SupportsSnapshot());
+  std::stringstream ss;
+  EXPECT_TRUE(oracle->SaveIndex(ss).IsNotSupported());
+}
+
+TEST(IntegrationTest, FacadeLoadRestoresCyclicGraphIndex) {
+  // The server's restart path: ReachabilityIndex::Load recomputes only the
+  // condensation and restores the oracle from the snapshot stream.
+  Digraph g = RandomDigraphWithCycles(600, 1500, 250, 557);
+  BuildStats build_stats;
+  auto built = ReachabilityIndex::Build(g, MakeOracle("DL"), BuildOptions(),
+                                        &build_stats);
+  ASSERT_TRUE(built.ok());
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(built->oracle().SaveIndex(ss).ok());
+
+  BuildStats load_stats;
+  auto loaded = ReachabilityIndex::Load(g, MakeOracle("DL"), ss,
+                                        &load_stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(load_stats.ok);
+  EXPECT_EQ(load_stats.index_integers, build_stats.index_integers);
+  Rng rng(558);
+  for (int i = 0; i < 3000; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.Uniform(g.num_vertices()));
+    const Vertex v = static_cast<Vertex>(rng.Uniform(g.num_vertices()));
+    ASSERT_EQ(loaded->Reachable(u, v), built->Reachable(u, v))
+        << "(" << u << "," << v << ")";
   }
 }
 

@@ -9,13 +9,61 @@
 namespace reach {
 namespace {
 
+// Brace literals do not convert to std::span; route them through a vector.
+std::vector<uint32_t> V(std::initializer_list<uint32_t> xs) { return xs; }
+
 TEST(SortedOpsTest, IntersectsBasics) {
-  EXPECT_FALSE(SortedIntersects({}, {}));
-  EXPECT_FALSE(SortedIntersects({1, 3, 5}, {}));
-  EXPECT_FALSE(SortedIntersects({1, 3, 5}, {2, 4, 6}));
-  EXPECT_TRUE(SortedIntersects({1, 3, 5}, {5}));
-  EXPECT_TRUE(SortedIntersects({5}, {1, 3, 5}));
-  EXPECT_TRUE(SortedIntersects({1, 2}, {0, 2, 9}));
+  EXPECT_FALSE(SortedIntersects(V({}), V({})));
+  EXPECT_FALSE(SortedIntersects(V({1, 3, 5}), V({})));
+  EXPECT_FALSE(SortedIntersects(V({1, 3, 5}), V({2, 4, 6})));
+  EXPECT_TRUE(SortedIntersects(V({1, 3, 5}), V({5})));
+  EXPECT_TRUE(SortedIntersects(V({5}), V({1, 3, 5})));
+  EXPECT_TRUE(SortedIntersects(V({1, 2}), V({0, 2, 9})));
+}
+
+TEST(SortedOpsTest, RangeOverlapPretest) {
+  EXPECT_FALSE(SortedRangesOverlap(V({}), V({1})));
+  EXPECT_FALSE(SortedRangesOverlap(V({1}), V({})));
+  // Disjoint windows, either order.
+  EXPECT_FALSE(SortedRangesOverlap(V({1, 2, 3}), V({4, 9})));
+  EXPECT_FALSE(SortedRangesOverlap(V({4, 9}), V({1, 2, 3})));
+  // Touching at the boundary overlaps.
+  EXPECT_TRUE(SortedRangesOverlap(V({1, 2, 3}), V({3, 9})));
+  // Overlapping windows need not share an element — only the scan decides.
+  EXPECT_TRUE(SortedRangesOverlap(V({1, 5}), V({2, 9})));
+  EXPECT_FALSE(SortedIntersects(V({1, 5}), V({2, 9})));
+}
+
+TEST(SortedOpsTest, GallopFindsAndRejects) {
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 4096; ++i) large.push_back(2 * i);  // Evens.
+  EXPECT_TRUE(GallopIntersects(V({4000}), large));
+  EXPECT_FALSE(GallopIntersects(V({4001}), large));
+  EXPECT_TRUE(GallopIntersects(V({1, 3, 8190}), large));   // Last element.
+  EXPECT_TRUE(GallopIntersects(V({0}), large));            // First element.
+  EXPECT_FALSE(GallopIntersects(V({1, 3, 5, 9999}), large));
+  // Small elements past the end of large must terminate, not scan.
+  EXPECT_FALSE(GallopIntersects(V({100000, 100002}), large));
+}
+
+TEST(SortedOpsTest, AdaptiveMatchesMergeOnSkewedSizes) {
+  // Exercise both adaptive branches (gallop for ratio > kGallopRatio,
+  // merge otherwise) against the plain merge kernel.
+  Rng rng(77);
+  for (int round = 0; round < 300; ++round) {
+    std::set<uint32_t> sa;
+    std::set<uint32_t> sb;
+    const size_t na = 1 + rng.Uniform(4);
+    const size_t nb = 1 + rng.Uniform(2000);
+    for (size_t i = 0; i < na; ++i) sa.insert(rng.Uniform(5000));
+    for (size_t i = 0; i < nb; ++i) sb.insert(rng.Uniform(5000));
+    std::vector<uint32_t> va(sa.begin(), sa.end());
+    std::vector<uint32_t> vb(sb.begin(), sb.end());
+    const bool expected = MergeIntersects(va, vb);
+    EXPECT_EQ(SortedIntersects(va, vb), expected);
+    EXPECT_EQ(SortedIntersects(vb, va), expected);
+    EXPECT_EQ(GallopIntersects(va, vb), expected);
+  }
 }
 
 TEST(SortedOpsTest, ContainsBinarySearch) {
@@ -23,7 +71,7 @@ TEST(SortedOpsTest, ContainsBinarySearch) {
   EXPECT_TRUE(SortedContains(v, 2));
   EXPECT_TRUE(SortedContains(v, 16));
   EXPECT_FALSE(SortedContains(v, 3));
-  EXPECT_FALSE(SortedContains({}, 0));
+  EXPECT_FALSE(SortedContains(V({}), 0));
 }
 
 TEST(SortedOpsTest, SortedInsertKeepsOrderAndUniqueness) {
@@ -54,7 +102,7 @@ TEST(SortedOpsTest, SortUnique) {
 
 TEST(SortedOpsTest, Intersection) {
   std::vector<uint32_t> out;
-  SortedIntersection({1, 2, 3, 8}, {2, 3, 9}, &out);
+  SortedIntersection(V({1, 2, 3, 8}), V({2, 3, 9}), &out);
   EXPECT_EQ(out, (std::vector<uint32_t>{2, 3}));
 }
 
@@ -72,6 +120,9 @@ TEST(SortedOpsTest, RandomizedIntersectsAgainstStdSet) {
     bool expected = false;
     for (uint32_t x : sa) expected |= sb.count(x) > 0;
     EXPECT_EQ(SortedIntersects(va, vb), expected);
+    EXPECT_EQ(MergeIntersects(va, vb), expected);
+    EXPECT_EQ(GallopIntersects(va, vb), expected);
+    EXPECT_EQ(GallopIntersects(vb, va), expected);
   }
 }
 

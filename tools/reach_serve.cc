@@ -5,10 +5,16 @@
 //
 //   reach_serve GRAPH [--method=DL] [--threads=N] [--port=0]
 //               [--workers=4] [--max-batch=N]
+//               [--save-index=PATH] [--load-index=PATH]
 //
 // On success the tool prints "LISTENING <port>" on stdout (scripts parse
 // this to learn the ephemeral port) and serves until drained; exit code 0
 // means a clean drain.
+//
+// --save-index writes the built index as a sealed snapshot after
+// construction; --load-index restores it on a restart, skipping the build
+// entirely (the startup log says so). The two flags are mutually
+// exclusive. Snapshot-capable methods: DL, HL, TF, 2HOP.
 
 #include <csignal>
 #include <cstdint>
@@ -49,6 +55,10 @@ void Usage(std::FILE* out) {
       "                 bound port is printed as 'LISTENING <port>')\n"
       "  --workers=N    concurrent client connections served (default 4)\n"
       "  --max-batch=N  largest accepted BATCH count (default %llu)\n"
+      "  --save-index=PATH  write the built index snapshot to PATH\n"
+      "  --load-index=PATH  restore the index from PATH instead of\n"
+      "                 building (must match GRAPH and --method; DL, HL,\n"
+      "                 TF, 2HOP only; exclusive with --save-index)\n"
       "protocol: 'Q u v' | 'BATCH n' + n 'u v' lines | STATS | PING | "
       "SHUTDOWN\n",
       static_cast<unsigned long long>(
@@ -114,6 +124,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.limits.max_batch = value;
+    } else if (arg.rfind("--save-index=", 0) == 0) {
+      options.save_index_path = arg.substr(13);
+      if (options.save_index_path.empty()) {
+        std::fprintf(stderr, "error: --save-index requires a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--load-index=", 0) == 0) {
+      options.load_index_path = arg.substr(13);
+      if (options.load_index_path.empty()) {
+        std::fprintf(stderr, "error: --load-index requires a path\n");
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       Usage(stderr);
@@ -146,14 +168,29 @@ int main(int argc, char** argv) {
     return 1;
   }
   const BuildStats& build = reach_server.build_stats();
-  std::fprintf(stderr,
-               "serving %s (%zu vertices, %zu edges) with %s: %llu index "
-               "integers, built in %.1f ms with %d thread%s\n",
-               graph_path.c_str(), graph->num_vertices(),
-               graph->num_edges(), options.method.c_str(),
-               static_cast<unsigned long long>(build.index_integers),
-               build.build_millis, build.threads,
-               build.threads == 1 ? "" : "s");
+  if (reach_server.loaded_from_snapshot()) {
+    std::fprintf(stderr,
+                 "serving %s (%zu vertices, %zu edges) with %s: loaded "
+                 "index from %s in %.1f ms (%llu index integers); skipped "
+                 "construction\n",
+                 graph_path.c_str(), graph->num_vertices(),
+                 graph->num_edges(), options.method.c_str(),
+                 options.load_index_path.c_str(), build.build_millis,
+                 static_cast<unsigned long long>(build.index_integers));
+  } else {
+    std::fprintf(stderr,
+                 "serving %s (%zu vertices, %zu edges) with %s: %llu index "
+                 "integers, built in %.1f ms with %d thread%s\n",
+                 graph_path.c_str(), graph->num_vertices(),
+                 graph->num_edges(), options.method.c_str(),
+                 static_cast<unsigned long long>(build.index_integers),
+                 build.build_millis, build.threads,
+                 build.threads == 1 ? "" : "s");
+    if (!options.save_index_path.empty()) {
+      std::fprintf(stderr, "index snapshot saved to %s\n",
+                   options.save_index_path.c_str());
+    }
+  }
   // Handlers must be live before the readiness line: a supervisor that
   // signals the moment it sees LISTENING would otherwise race the default
   // disposition and kill the process instead of draining it.
