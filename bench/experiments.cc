@@ -335,10 +335,12 @@ void RunServe(const ExperimentSpec& spec, const BenchConfig& config,
 
       // Expected bytes from the in-process index, computed outside the
       // timed window.
+      const std::shared_ptr<const ReachabilityIndex> index =
+          reach_server.index();
       std::vector<std::string> expected;
       expected.reserve(queries.size());
       for (const auto& [u, v] : queries) {
-        expected.push_back(reach_server.index().Reachable(u, v) ? "1" : "0");
+        expected.push_back(index->Reachable(u, v) ? "1" : "0");
       }
 
       server::Client client;

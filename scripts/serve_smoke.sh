@@ -82,7 +82,10 @@ if [ "$answers" != "$expected_answers" ]; then
   fail "batch answers mismatch: got [$answers]"
 fi
 grep -q '^method DL$' "$workdir/client.out" || fail "STATS missing method"
-grep -q '^queries 7$' "$workdir/client.out" || fail "STATS missing queries"
+# Disjoint counters: six answered queries; the out-of-range pair counts
+# only as malformed, never as both.
+grep -q '^queries 6$' "$workdir/client.out" || fail "STATS missing queries"
+grep -q '^malformed 1$' "$workdir/client.out" || fail "STATS missing malformed"
 grep -q '^batches 1$' "$workdir/client.out" || fail "STATS missing batches"
 kill -0 "$server_pid" 2>/dev/null || fail "server died on malformed input"
 
@@ -160,6 +163,54 @@ server_status=0
 wait "$server_pid" || server_status=$?
 server_pid=""
 [ "$server_status" -eq 0 ] || fail "load server exit code $server_status"
+
+# Hot-swap path: on a freshly built server, SAVE the live index over the
+# wire, then RELOAD it back while the same connection keeps the session
+# open. Answers must match the fresh build byte for byte, STATS must show
+# the swap, and the atomic publish must leave no .tmp behind.
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=1 --workers=2 \
+  > "$workdir/swap.out" 2> "$workdir/swap.err" &
+server_pid=$!
+port_swap=""
+for _ in $(seq 1 100); do
+  port_swap=$(awk '/^LISTENING /{print $2}' "$workdir/swap.out" 2>/dev/null)
+  [ -n "$port_swap" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "swap server exited early"
+  sleep 0.1
+done
+[ -n "$port_swap" ] || fail "swap server: no LISTENING line within 10s"
+printf '%s\n' "$batch_queries" \
+  | "$CLIENT" --port="$port_swap" --save="$workdir/hot.snap" \
+      --reload="$workdir/hot.snap" --stats > "$workdir/swap_client.out" \
+  || fail "swap-leg client exited non-zero"
+if ! cmp -s <(head -6 "$workdir/swap_client.out") "$workdir/save_answers.out"
+then
+  fail "swap-leg batch answers differ from freshly-built answers"
+fi
+[ "$(sed -n '7p' "$workdir/swap_client.out")" = "OK" ] \
+  || fail "SAVE did not answer OK"
+[ "$(sed -n '8p' "$workdir/swap_client.out")" = "OK" ] \
+  || fail "RELOAD did not answer OK"
+[ -s "$workdir/hot.snap" ] || fail "SAVE left no snapshot on disk"
+[ ! -e "$workdir/hot.snap.tmp" ] || fail "SAVE left a .tmp behind"
+grep -q '^saves 1$' "$workdir/swap_client.out" || fail "STATS missing saves"
+grep -q '^reloads 1$' "$workdir/swap_client.out" \
+  || fail "STATS missing reloads"
+grep -q '^malformed 0$' "$workdir/swap_client.out" \
+  || fail "swap leg counted malformed input"
+# The swapped-in index keeps serving correct answers.
+printf '%s\n' "$batch_queries" \
+  | "$CLIENT" --port="$port_swap" > "$workdir/swap_after.out" \
+  || fail "post-swap client exited non-zero"
+cmp -s "$workdir/swap_after.out" "$workdir/save_answers.out" \
+  || fail "post-swap answers differ from freshly-built answers"
+bye=$("$CLIENT" --port="$port_swap" --shutdown < /dev/null) \
+  || fail "swap-leg shutdown client exited non-zero"
+[ "$bye" = "BYE" ] || fail "swap leg: expected BYE, got '$bye'"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] || fail "swap server exit code $server_status"
 
 # Signal path: SIGTERM on an idle server (no client ever connected) must
 # drain and exit 0 — regression for a signal-initiated drain that never

@@ -181,6 +181,16 @@ StatusOr<std::vector<std::string>> Client::Stats() {
   }
 }
 
+StatusOr<std::string> Client::Reload(const std::string& path) {
+  REACH_RETURN_IF_ERROR(SendRaw("RELOAD " + path + "\n"));
+  return ReadLine();
+}
+
+StatusOr<std::string> Client::Save(const std::string& path) {
+  REACH_RETURN_IF_ERROR(SendRaw("SAVE " + path + "\n"));
+  return ReadLine();
+}
+
 StatusOr<std::string> Client::Shutdown() {
   REACH_RETURN_IF_ERROR(SendRaw("SHUTDOWN\n"));
   return ReadLine();

@@ -50,6 +50,16 @@ class Client {
   /// STATS round trip: the "key value" lines between STATS and END.
   StatusOr<std::vector<std::string>> Stats();
 
+  /// RELOAD round trip: asks the server to hot-swap onto the sealed index
+  /// snapshot at `path` (a server-side path, one blank-free token).
+  /// Returns the raw answer line: "OK" on a successful swap, "ERR <why>"
+  /// when the server refused (live index untouched).
+  StatusOr<std::string> Reload(const std::string& path);
+
+  /// SAVE round trip: asks the server to atomically write its live index
+  /// snapshot to `path`. Returns "OK" or "ERR <why>".
+  StatusOr<std::string> Save(const std::string& path);
+
   /// SHUTDOWN round trip; returns the server's farewell line ("BYE").
   StatusOr<std::string> Shutdown();
 

@@ -87,6 +87,18 @@ Command ParseCommandLine(std::string_view line,
     command.batch_count = n;
     return command;
   }
+  if (verb == "RELOAD" || verb == "SAVE") {
+    // The path is one blank-free token; blanks in a path would need
+    // quoting the line grammar deliberately does not have.
+    if (count != 2) {
+      return Malformed(std::string(verb) + " expects one path: '" +
+                       std::string(verb) + " <snapshot-path>'");
+    }
+    command.type =
+        verb == "RELOAD" ? CommandType::kReload : CommandType::kSave;
+    command.path = std::string(tokens[1]);
+    return command;
+  }
   if (verb == "STATS" || verb == "PING" || verb == "SHUTDOWN") {
     if (count != 1) {
       return Malformed(std::string(verb) + " takes no arguments");
@@ -97,7 +109,8 @@ Command ParseCommandLine(std::string_view line,
     return command;
   }
   return Malformed("unknown command '" + std::string(verb) +
-                   "'; expected Q, BATCH, STATS, PING, or SHUTDOWN");
+                   "'; expected Q, BATCH, STATS, PING, RELOAD, SAVE, or "
+                   "SHUTDOWN");
 }
 
 std::optional<std::string> LineBuffer::NextLine() {

@@ -5,6 +5,10 @@
 //   BATCH n          n query lines "u v" follow -> n answer lines
 //   STATS            server/index statistics   -> "STATS", k/v lines, "END"
 //   PING             liveness probe            -> "PONG"
+//   RELOAD <path>    hot-swap onto the sealed index snapshot at <path>
+//                    (same method + graph shape) -> "OK" | "ERR <why>"
+//   SAVE <path>      atomically write the live index snapshot to <path>
+//                    -> "OK" | "ERR <why>"
 //   SHUTDOWN         graceful drain            -> "BYE", then close
 //
 // Lines end with LF (a trailing CR is stripped for telnet-style clients).
@@ -42,6 +46,8 @@ enum class CommandType {
   kBatch,      // BATCH n
   kStats,      // STATS
   kPing,       // PING
+  kReload,     // RELOAD <path>
+  kSave,       // SAVE <path>
   kShutdown,   // SHUTDOWN
   kMalformed,  // Anything else; `error` says why.
 };
@@ -52,6 +58,7 @@ struct Command {
   Vertex u = 0;             // kQuery.
   Vertex v = 0;             // kQuery.
   uint64_t batch_count = 0; // kBatch.
+  std::string path;         // kReload / kSave: one blank-free token.
   std::string error;        // kMalformed.
 };
 

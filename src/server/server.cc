@@ -14,72 +14,13 @@
 #include <utility>
 
 #include "baselines/factory.h"
+#include "server/snapshot.h"
 #include "util/thread_pool.h"
 
 namespace reach {
 namespace server {
 
 namespace {
-
-// "RSNAPSH1": framing for an index snapshot file — method + graph shape,
-// then the oracle's own sealed SaveIndex blob (which carries its own magic
-// and validation; see core/label_store.h).
-constexpr uint64_t kSnapshotMagic = 0x52534e4150534831ULL;
-constexpr uint32_t kSnapshotMaxMethodLen = 64;
-
-Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
-                           const Digraph& graph) {
-  const uint64_t magic = kSnapshotMagic;
-  const uint32_t method_len = static_cast<uint32_t>(method.size());
-  const uint64_t vertices = graph.num_vertices();
-  const uint64_t edges = graph.num_edges();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&method_len), sizeof(method_len));
-  out.write(method.data(), method_len);
-  out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
-  out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
-  if (!out) return Status::IOError("snapshot header write failed");
-  return Status::OK();
-}
-
-/// Validates the untrusted snapshot framing against what this server is
-/// about to serve: same method, same graph shape. The oracle blob that
-/// follows revalidates itself (bounds, sortedness, trailing bytes).
-Status ReadSnapshotHeader(std::istream& in, const std::string& method,
-                          const Digraph& graph) {
-  uint64_t magic = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kSnapshotMagic) {
-    return Status::Corruption("bad index snapshot magic");
-  }
-  uint32_t method_len = 0;
-  in.read(reinterpret_cast<char*>(&method_len), sizeof(method_len));
-  if (!in || method_len == 0 || method_len > kSnapshotMaxMethodLen) {
-    return Status::Corruption("bad index snapshot method length");
-  }
-  std::string saved_method(method_len, '\0');
-  in.read(saved_method.data(), method_len);
-  if (!in) return Status::Corruption("truncated index snapshot header");
-  if (saved_method != method) {
-    return Status::InvalidArgument("index snapshot was saved for method '" +
-                                   saved_method + "', server is running '" +
-                                   method + "'");
-  }
-  uint64_t vertices = 0;
-  uint64_t edges = 0;
-  in.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
-  in.read(reinterpret_cast<char*>(&edges), sizeof(edges));
-  if (!in) return Status::Corruption("truncated index snapshot header");
-  if (vertices != graph.num_vertices() || edges != graph.num_edges()) {
-    return Status::InvalidArgument(
-        "index snapshot was saved for a graph with " +
-        std::to_string(vertices) + " vertices / " + std::to_string(edges) +
-        " edges; the loaded graph has " +
-        std::to_string(graph.num_vertices()) + " / " +
-        std::to_string(graph.num_edges()));
-  }
-  return Status::OK();
-}
 
 /// send() the whole buffer, retrying partial writes and EINTR. MSG_NOSIGNAL
 /// turns a peer that vanished mid-response into an error return instead of
@@ -148,12 +89,14 @@ Status ReachServer::Start(const Digraph& graph,
       return Status::IOError("cannot open index snapshot " +
                              options.load_index_path);
     }
-    REACH_RETURN_IF_ERROR(
-        ReadSnapshotHeader(snapshot, options.method, graph));
+    REACH_RETURN_IF_ERROR(ReadSnapshotHeader(snapshot, options.method,
+                                             graph.num_vertices(),
+                                             graph.num_edges()));
     StatusOr<ReachabilityIndex> index = ReachabilityIndex::Load(
         graph, std::move(oracle), snapshot, &build_stats_);
     if (!index.ok()) return index.status();
-    index_.emplace(std::move(*index));
+    index_slot_.Publish(
+        std::make_shared<const ReachabilityIndex>(std::move(*index)));
     loaded_from_snapshot_ = true;
   } else {
     BuildOptions build_options;
@@ -161,33 +104,33 @@ Status ReachServer::Start(const Digraph& graph,
     StatusOr<ReachabilityIndex> index = ReachabilityIndex::Build(
         graph, std::move(oracle), build_options, &build_stats_);
     if (!index.ok()) return index.status();
-    index_.emplace(std::move(*index));
+    index_slot_.Publish(
+        std::make_shared<const ReachabilityIndex>(std::move(*index)));
     if (!options.save_index_path.empty()) {
-      std::ofstream snapshot(options.save_index_path,
-                             std::ios::binary | std::ios::trunc);
-      if (!snapshot) {
-        return Status::IOError("cannot create index snapshot " +
-                               options.save_index_path);
-      }
-      REACH_RETURN_IF_ERROR(
-          WriteSnapshotHeader(snapshot, options.method, graph));
-      REACH_RETURN_IF_ERROR(index_->oracle().SaveIndex(snapshot));
-      snapshot.flush();
-      if (!snapshot) {
-        return Status::IOError("index snapshot write to " +
-                               options.save_index_path + " failed");
-      }
+      // Atomic publish (tmp + rename): a crash or full disk mid-write can
+      // never leave a truncated file that poisons the next --load-index.
+      REACH_RETURN_IF_ERROR(SaveIndexSnapshot(
+          options.save_index_path, options.method, graph.num_vertices(),
+          graph.num_edges(), index_slot_.Acquire()->oracle()));
     }
   }
 
-  context_.index = &*index_;
+  graph_ = &graph;
+  context_.index = &index_slot_;
   context_.method = options.method;
   context_.graph_vertices = graph.num_vertices();
   context_.graph_edges = graph.num_edges();
   context_.stats = &stats_;
   context_.limits = options.limits;
-  context_.query_mutex =
-      index_->oracle().ConcurrentQuerySafe() ? nullptr : &query_mutex_;
+  context_.query_mutex = index_slot_.Acquire()->oracle().ConcurrentQuerySafe()
+                             ? nullptr
+                             : &query_mutex_;
+  context_.reload = [this](const std::string& path) {
+    return ReloadFromSnapshot(path);
+  };
+  context_.save = [this](const std::string& path) {
+    return SaveLiveIndex(path);
+  };
 
   // Non-blocking listener: the accept loop polls it together with the
   // wake pipe, so accept4 must never block after a spurious wakeup.
@@ -311,19 +254,22 @@ void ReachServer::AcceptLoop() {
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     ThreadPool::Shared().Submit([this, fd] { HandleConnection(fd); });
   }
+  bool need_drain = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     accept_done_ = true;
     ::close(listen_fd_);
     listen_fd_ = -1;
     --active_handlers_;
-    const bool need_drain = !draining_;
-    lock.unlock();
+    need_drain = !draining_;
+    // Notify under the lock: once it is released, Wait() may return and
+    // the server (cv_ included) may be destroyed, so the broadcast must
+    // already be over by then.
     cv_.notify_all();
-    // The accept loop can end without SHUTDOWN/Stop (listener error, or
-    // RequestStopFromSignal); finish the drain on this thread then.
-    if (need_drain) InitiateDrain();
   }
+  // The accept loop can end without SHUTDOWN/Stop (listener error, or
+  // RequestStopFromSignal); finish the drain on this thread then.
+  if (need_drain) InitiateDrain();
 }
 
 void ReachServer::HandleConnection(int fd) {
@@ -352,9 +298,14 @@ void ReachServer::HandleConnection(int fd) {
     std::lock_guard<std::mutex> lock(mu_);
     session_fds_.erase(fd);
     --active_handlers_;
+    // Under the lock for the same reason as the accept loop: the last
+    // handler's broadcast must finish before Wait() can observe
+    // active_handlers_ == 0 and let the server be destroyed.
+    cv_.notify_all();
   }
+  // The close stays after the erase so InitiateDrain can never shutdown()
+  // a recycled descriptor; fd is a local, so this touches no member state.
   ::close(fd);
-  cv_.notify_all();
 }
 
 void ReachServer::InitiateDrain() {
@@ -372,11 +323,12 @@ void ReachServer::InitiateDrain() {
     // and closes. Commands already received keep being answered — drain,
     // not abort.
     for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+    // Wait() may already be blocked with no live handlers left to wake it
+    // (an idle server drained by a signal or a listener failure), so the
+    // flag flip must notify by itself — under the lock, so the broadcast
+    // is over before Wait() can return and the server be destroyed.
+    cv_.notify_all();
   }
-  // Wait() may already be blocked with no live handlers left to wake it
-  // (an idle server drained by a signal or a listener failure), so the
-  // flag flip must notify by itself.
-  cv_.notify_all();
 }
 
 void ReachServer::Wait() {
@@ -390,6 +342,48 @@ void ReachServer::Stop() {
   if (!started_) return;
   InitiateDrain();
   Wait();
+}
+
+Status ReachServer::ReloadFromSnapshot(const std::string& path) {
+  // One candidate index at a time: concurrent RELOADs would each pay a
+  // full snapshot load only for all but the last publish to be wasted,
+  // and the transient memory footprint stays bounded at two indexes.
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(context_.method);
+  if (oracle == nullptr || !oracle->SupportsSnapshot()) {
+    return Status::InvalidArgument(
+        "method '" + context_.method +
+        "' does not support index snapshots (snapshot-capable: DL, HL, TF, "
+        "2HOP)");
+  }
+  std::ifstream snapshot(path, std::ios::binary);
+  if (!snapshot) {
+    return Status::IOError("cannot open index snapshot " + path);
+  }
+  // Strict validation before the swap: same method, same graph shape, and
+  // a label blob that passes the hardened LabelStore reader. Every failure
+  // below returns with the live index untouched.
+  REACH_RETURN_IF_ERROR(ReadSnapshotHeader(snapshot, context_.method,
+                                           graph_->num_vertices(),
+                                           graph_->num_edges()));
+  StatusOr<ReachabilityIndex> next =
+      ReachabilityIndex::Load(*graph_, std::move(oracle), snapshot);
+  if (!next.ok()) return next.status();
+  // Atomic publish: new queries acquire the new index; in-flight queries
+  // finish on the old one, which dies with its last reference.
+  index_slot_.Publish(
+      std::make_shared<const ReachabilityIndex>(std::move(*next)));
+  return Status::OK();
+}
+
+Status ReachServer::SaveLiveIndex(const std::string& path) {
+  // The shared_ptr pins the index being saved even if a RELOAD lands
+  // mid-write; swap_mu_ keeps two SAVEs from racing on the same tmp file.
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const std::shared_ptr<const ReachabilityIndex> index =
+      index_slot_.Acquire();
+  return SaveIndexSnapshot(path, context_.method, context_.graph_vertices,
+                           context_.graph_edges, index->oracle());
 }
 
 void ReachServer::RequestStopFromSignal() {

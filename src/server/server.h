@@ -16,6 +16,11 @@
 //  - Queries on the built index are const and lock-free for oracles whose
 //    ConcurrentQuerySafe() is true; otherwise every session shares one
 //    query mutex (core/oracle.h).
+//  - The live index is published through an IndexSlot (session.h): each
+//    query pins its own shared_ptr reference, so the RELOAD verb can swap
+//    in a freshly loaded snapshot while in-flight queries finish on the
+//    old index (retired when its last reference drops). A failed RELOAD
+//    or SAVE never disturbs the live index.
 //
 // Graceful drain: on SHUTDOWN the listener stops accepting, every open
 // connection is shut down for reading (already-received commands are still
@@ -31,7 +36,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <set>
 #include <string>
 
@@ -61,8 +65,10 @@ struct ServerOptions {
   BuildBudget budget;
   /// Non-empty: after a successful build, write the index snapshot (framed
   /// header + the oracle's sealed SaveIndex blob) to this path, so a later
-  /// Start with load_index_path skips construction entirely. Requires a
-  /// registry method whose oracle SupportsSnapshot() (DL, HL, TF, 2HOP).
+  /// Start with load_index_path skips construction entirely. The write is
+  /// published atomically (tmp + rename, server/snapshot.h): a failure
+  /// leaves no partial file. Requires a registry method whose oracle
+  /// SupportsSnapshot() (DL, HL, TF, 2HOP).
   std::string save_index_path;
   /// Non-empty: restore the index from this snapshot instead of building
   /// it (restart-without-rebuild). The snapshot must have been saved for
@@ -87,7 +93,9 @@ class ReachServer {
 
   /// Builds `options.method` on `graph` (cycles fine: SCC-condensed first),
   /// binds `host:port`, and starts accepting. On any failure nothing is
-  /// left running and Start may not be retried.
+  /// left running and Start may not be retried. `graph` must outlive the
+  /// server: the RELOAD verb recomputes the SCC condensation from it when
+  /// validating and loading a replacement snapshot.
   Status Start(const Digraph& graph, const ServerOptions& options);
 
   /// The bound TCP port (the actual one when options.port was 0).
@@ -105,8 +113,12 @@ class ReachServer {
   /// Live service counters (shared with every session).
   const ServerStats& stats() const { return stats_; }
 
-  /// The built index; valid after a successful Start. Const queries only.
-  const ReachabilityIndex& index() const { return *index_; }
+  /// The currently published index; valid after a successful Start. The
+  /// returned reference keeps that index alive even across a concurrent
+  /// RELOAD (which publishes a replacement without invalidating holders).
+  std::shared_ptr<const ReachabilityIndex> index() const {
+    return index_slot_.Acquire();
+  }
 
   /// Blocks until the server has drained (SHUTDOWN command or Stop()).
   void Wait();
@@ -127,11 +139,20 @@ class ReachServer {
   void AcceptLoop();
   void HandleConnection(int fd);
   void InitiateDrain();
+  /// RELOAD: loads + validates the snapshot at `path` and atomically
+  /// publishes it; any failure returns without touching the live index.
+  Status ReloadFromSnapshot(const std::string& path);
+  /// SAVE: writes the live index snapshot to `path` via the atomic
+  /// tmp + rename publish (server/snapshot.h).
+  Status SaveLiveIndex(const std::string& path);
 
   SessionContext context_;
   ServerStats stats_;
   BuildStats build_stats_;
-  std::optional<ReachabilityIndex> index_;
+  IndexSlot index_slot_;    // Live index; swapped by ReloadFromSnapshot.
+  const Digraph* graph_ = nullptr;  // Caller-owned; outlives the server.
+  std::mutex swap_mu_;      // Serializes RELOAD/SAVE snapshot I/O so at
+                            // most one candidate index is in flight.
   std::mutex query_mutex_;  // Used only when the oracle is not
                             // concurrent-query-safe (context_.query_mutex).
 

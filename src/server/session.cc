@@ -67,6 +67,12 @@ void Session::HandleLine(std::string_view line, std::string* out) {
     case CommandType::kPing:
       *out += "PONG\n";
       return;
+    case CommandType::kReload:
+      HandleReload(command.path, out);
+      return;
+    case CommandType::kSave:
+      HandleSave(command.path, out);
+      return;
     case CommandType::kShutdown:
       *out += "BYE\n";
       state_ = State::kShutdownRequested;
@@ -79,30 +85,75 @@ void Session::HandleLine(std::string_view line, std::string* out) {
 }
 
 void Session::AnswerQuery(Vertex u, Vertex v, std::string* out) {
-  context_->stats->queries.fetch_add(1, std::memory_order_relaxed);
   if (u >= context_->graph_vertices || v >= context_->graph_vertices) {
+    // A reject is counted under `malformed` only; `queries` counts answered
+    // queries, so the two stay disjoint (one request line, one counter).
     context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
     *out += "ERR vertex out of range\n";
     return;
   }
+  // The local reference pins the index for exactly this query: a RELOAD
+  // published between two queries retires the old index only after the
+  // last in-flight reference (like this one) drops.
+  const std::shared_ptr<const ReachabilityIndex> index =
+      context_->index->Acquire();
   bool reachable;
   if (context_->query_mutex != nullptr) {
     std::lock_guard<std::mutex> lock(*context_->query_mutex);
-    reachable = context_->index->Reachable(u, v);
+    reachable = index->Reachable(u, v);
   } else {
-    reachable = context_->index->Reachable(u, v);
+    reachable = index->Reachable(u, v);
   }
+  context_->stats->queries.fetch_add(1, std::memory_order_relaxed);
   *out += reachable ? "1\n" : "0\n";
 }
 
+void Session::HandleReload(const std::string& path, std::string* out) {
+  if (context_->reload == nullptr) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR RELOAD is not available on this server\n";
+    return;
+  }
+  const Status status = context_->reload(path);
+  if (!status.ok()) {
+    // A failed reload leaves the live index untouched (the hook's
+    // contract); the client learns why and the connection stays usable.
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR " + status.message() + "\n";
+    return;
+  }
+  context_->stats->reloads.fetch_add(1, std::memory_order_relaxed);
+  *out += "OK\n";
+}
+
+void Session::HandleSave(const std::string& path, std::string* out) {
+  if (context_->save == nullptr) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR SAVE is not available on this server\n";
+    return;
+  }
+  const Status status = context_->save(path);
+  if (!status.ok()) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    *out += "ERR " + status.message() + "\n";
+    return;
+  }
+  context_->stats->saves.fetch_add(1, std::memory_order_relaxed);
+  *out += "OK\n";
+}
+
 void Session::AppendStats(std::string* out) const {
-  const BuildStats& build = context_->index->oracle().build_stats();
+  // One coherent reference for the whole block: build stats and component
+  // count come from the same (possibly just-reloaded) index.
+  const std::shared_ptr<const ReachabilityIndex> index =
+      context_->index->Acquire();
+  const BuildStats& build = index->oracle().build_stats();
   const ServerStats& stats = *context_->stats;
   *out += "STATS\n";
   *out += "method " + context_->method + "\n";
   AppendKeyValue(out, "vertices", context_->graph_vertices);
   AppendKeyValue(out, "edges", context_->graph_edges);
-  AppendKeyValue(out, "components", context_->index->num_components());
+  AppendKeyValue(out, "components", index->num_components());
   char build_ms[32];
   std::snprintf(build_ms, sizeof(build_ms), "%.3f", build.build_millis);
   *out += "build_ms ";
@@ -117,6 +168,10 @@ void Session::AppendStats(std::string* out) const {
                  stats.queries.load(std::memory_order_relaxed));
   AppendKeyValue(out, "batches",
                  stats.batches.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "reloads",
+                 stats.reloads.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "saves",
+                 stats.saves.load(std::memory_order_relaxed));
   AppendKeyValue(out, "malformed",
                  stats.malformed.load(std::memory_order_relaxed));
   *out += "END\n";

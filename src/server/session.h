@@ -9,9 +9,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/reachability.h"
 #include "server/protocol.h"
@@ -21,26 +24,76 @@ namespace server {
 
 /// Monotonic service counters shared by all sessions of one server.
 /// Plain atomics: increments are relaxed, STATS reads are snapshots.
+/// The counters are disjoint by contract: a request line bumps `queries`
+/// (it was answered "1"/"0") or `malformed` (it was answered "ERR"), never
+/// both — so `queries` always means "reachability answers served".
 struct ServerStats {
   std::atomic<uint64_t> connections{0};  // Accepted since start.
-  std::atomic<uint64_t> queries{0};      // Q lines + batch body lines.
+  std::atomic<uint64_t> queries{0};      // Answered queries ("1"/"0" sent).
   std::atomic<uint64_t> batches{0};      // BATCH frames started.
+  std::atomic<uint64_t> reloads{0};      // Successful RELOAD index swaps.
+  std::atomic<uint64_t> saves{0};        // Successful SAVE snapshots.
   std::atomic<uint64_t> malformed{0};    // ERR responses sent.
 };
 
+/// RCU-style publication slot for the live index. Readers take their own
+/// shared_ptr reference per query, so Publish() can swap in a replacement
+/// while in-flight queries finish on the old index; the old index is
+/// destroyed when its last reference drops. Readers pay one uncontended
+/// mutex acquisition (a pointer copy under the lock) per Acquire().
+class IndexSlot {
+ public:
+  IndexSlot() = default;
+
+  IndexSlot(const IndexSlot&) = delete;
+  IndexSlot& operator=(const IndexSlot&) = delete;
+
+  /// The currently published index. Never null once the owning server has
+  /// published its first index (before accepting any connection).
+  std::shared_ptr<const ReachabilityIndex> Acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_;
+  }
+
+  /// Installs `next` as the live index. The previous index is released
+  /// outside the lock so a destructor freeing a multi-GB label store never
+  /// blocks readers.
+  void Publish(std::shared_ptr<const ReachabilityIndex> next) {
+    std::shared_ptr<const ReachabilityIndex> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = std::exchange(index_, std::move(next));
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ReachabilityIndex> index_;
+};
+
 /// Everything a session needs from its server, all owned elsewhere and
-/// outliving every session: the built index (const at query time), the
-/// graph/build metadata reported by STATS, and the shared counters.
+/// outliving every session: the live-index slot (const at query time,
+/// swappable by RELOAD), the graph/build metadata reported by STATS, and
+/// the shared counters.
 struct SessionContext {
-  const ReachabilityIndex* index = nullptr;
+  const IndexSlot* index = nullptr;
   std::string method;
   size_t graph_vertices = 0;
   size_t graph_edges = 0;
   ServerStats* stats = nullptr;
   ProtocolLimits limits;
   /// Non-null when the oracle's ConcurrentQuerySafe() is false: sessions
-  /// then serialize every Reachable() call behind this mutex.
+  /// then serialize every Reachable() call behind this mutex. RELOAD never
+  /// changes the method, so this choice is fixed at Start.
   std::mutex* query_mutex = nullptr;
+  /// Server hook behind the RELOAD verb: validate the snapshot at `path`
+  /// and atomically publish it as the live index. Must return an error
+  /// without disturbing the live index on any failure. Null (e.g. in
+  /// session-level tests) answers ERR.
+  std::function<Status(const std::string& path)> reload;
+  /// Server hook behind the SAVE verb: atomically write the live index
+  /// snapshot to `path` (tmp + rename; no partial file on failure).
+  std::function<Status(const std::string& path)> save;
 };
 
 /// One connection's protocol state. Not thread-safe: the server runs each
@@ -66,6 +119,8 @@ class Session {
  private:
   void HandleLine(std::string_view line, std::string* out);
   void AnswerQuery(Vertex u, Vertex v, std::string* out);
+  void HandleReload(const std::string& path, std::string* out);
+  void HandleSave(const std::string& path, std::string* out);
   void AppendStats(std::string* out) const;
 
   const SessionContext* context_;

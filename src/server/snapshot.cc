@@ -1,0 +1,113 @@
+#include "server/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace reach {
+namespace server {
+
+namespace {
+
+// "RSNAPSH1" as a little-endian u64, matching what PR 5 shipped.
+constexpr uint64_t kSnapshotMagic = 0x52534e4150534831ULL;
+
+}  // namespace
+
+Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
+                           uint64_t vertices, uint64_t edges) {
+  // Writer-side mirror of the reader's bounds: a header the hardened
+  // reader would refuse must never be produced in the first place.
+  if (method.empty() || method.size() > kSnapshotMaxMethodLen) {
+    return Status::InvalidArgument(
+        "snapshot method name must be 1.." +
+        std::to_string(kSnapshotMaxMethodLen) + " bytes, got " +
+        std::to_string(method.size()));
+  }
+  const uint64_t magic = kSnapshotMagic;
+  const uint32_t method_len = static_cast<uint32_t>(method.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&method_len), sizeof(method_len));
+  out.write(method.data(), method_len);
+  out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
+  out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  if (!out) return Status::IOError("snapshot header write failed");
+  return Status::OK();
+}
+
+Status ReadSnapshotHeader(std::istream& in, const std::string& method,
+                          uint64_t vertices, uint64_t edges) {
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kSnapshotMagic) {
+    return Status::Corruption("bad index snapshot magic");
+  }
+  uint32_t method_len = 0;
+  in.read(reinterpret_cast<char*>(&method_len), sizeof(method_len));
+  if (!in || method_len == 0 || method_len > kSnapshotMaxMethodLen) {
+    return Status::Corruption("bad index snapshot method length");
+  }
+  std::string saved_method(method_len, '\0');
+  in.read(saved_method.data(), method_len);
+  if (!in) return Status::Corruption("truncated index snapshot header");
+  if (saved_method != method) {
+    return Status::InvalidArgument("index snapshot was saved for method '" +
+                                   saved_method + "', server is running '" +
+                                   method + "'");
+  }
+  uint64_t saved_vertices = 0;
+  uint64_t saved_edges = 0;
+  in.read(reinterpret_cast<char*>(&saved_vertices), sizeof(saved_vertices));
+  in.read(reinterpret_cast<char*>(&saved_edges), sizeof(saved_edges));
+  if (!in) return Status::Corruption("truncated index snapshot header");
+  if (saved_vertices != vertices || saved_edges != edges) {
+    return Status::InvalidArgument(
+        "index snapshot was saved for a graph with " +
+        std::to_string(saved_vertices) + " vertices / " +
+        std::to_string(saved_edges) + " edges; the served graph has " +
+        std::to_string(vertices) + " / " + std::to_string(edges));
+  }
+  return Status::OK();
+}
+
+Status SaveIndexSnapshot(const std::string& path, const std::string& method,
+                         uint64_t vertices, uint64_t edges,
+                         const ReachabilityOracle& oracle) {
+  const std::string tmp = path + ".tmp";
+  Status status = Status::OK();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot create index snapshot temporary " +
+                             tmp);
+    }
+    status = WriteSnapshotHeader(out, method, vertices, edges);
+    if (status.ok()) status = oracle.SaveIndex(out);
+    if (status.ok()) {
+      out.flush();
+      if (!out) {
+        status = Status::IOError("index snapshot write to " + tmp +
+                                 " failed");
+      }
+    }
+  }
+  if (!status.ok()) {
+    // A failed write must leave no partial file behind: the previous
+    // snapshot at `path` (if any) stays the published one.
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IOError("rename " + tmp + " -> " + path + ": " +
+                             std::strerror(errno));
+    std::remove(tmp.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace reach

@@ -1,0 +1,59 @@
+// Index snapshot framing and atomic publication for the serving layer.
+//
+// A server snapshot file is a framing header — magic "RSNAPSH1", the
+// oracle method name, and the graph's |V|/|E|, all cross-checked on load —
+// followed by the oracle's own sealed SaveIndex blob (which carries its
+// own magic and validation; see core/label_store.h). The header ties a
+// snapshot to exactly one (method, graph) pair so a stale or foreign file
+// can never be swapped under a live server.
+//
+// Publication is atomic: SaveIndexSnapshot writes to "<path>.tmp", flushes,
+// and rename(2)s into place. A reader (a restarting server, or a live one
+// handling RELOAD) therefore observes either the previous complete snapshot
+// or the new complete snapshot — never a half-written file. Any failure
+// removes the temporary and leaves whatever was at `path` untouched.
+
+#ifndef REACH_SERVER_SNAPSHOT_H_
+#define REACH_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/oracle.h"
+#include "util/status.h"
+
+namespace reach {
+namespace server {
+
+/// Longest method name the framing accepts; the writer enforces the same
+/// bound so it can never emit a header its own reader refuses.
+constexpr uint32_t kSnapshotMaxMethodLen = 64;
+
+/// Writes the "RSNAPSH1" framing header. All-or-nothing: an unrepresentable
+/// method (empty, or longer than kSnapshotMaxMethodLen) is rejected with
+/// InvalidArgument before any byte is emitted.
+Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
+                           uint64_t vertices, uint64_t edges);
+
+/// Validates the untrusted snapshot framing against what the caller is
+/// about to serve: same method, same graph shape. The oracle blob that
+/// follows revalidates itself (bounds, sortedness, trailing bytes).
+Status ReadSnapshotHeader(std::istream& in, const std::string& method,
+                          uint64_t vertices, uint64_t edges);
+
+/// Writes header + the oracle's sealed index blob to `path` with atomic
+/// publish semantics: the bytes go to "<path>.tmp" and are renamed into
+/// place only after a successful flush. On any failure the temporary is
+/// removed and the previous content of `path` (if any) is preserved, so a
+/// crash or full disk can never leave a truncated snapshot that poisons
+/// the next --load-index or RELOAD. The oracle must have been built or
+/// loaded for the (method, vertices, edges) the header records.
+Status SaveIndexSnapshot(const std::string& path, const std::string& method,
+                         uint64_t vertices, uint64_t edges,
+                         const ReachabilityOracle& oracle);
+
+}  // namespace server
+}  // namespace reach
+
+#endif  // REACH_SERVER_SNAPSHOT_H_

@@ -142,6 +142,23 @@ TEST(ParseCommandTest, RejectsOversizedBatchCount) {
             CommandType::kMalformed);
 }
 
+TEST(ParseCommandTest, ParsesReloadAndSave) {
+  const Command reload =
+      ParseCommandLine("RELOAD /tmp/index.snap", ProtocolLimits());
+  ASSERT_EQ(reload.type, CommandType::kReload);
+  EXPECT_EQ(reload.path, "/tmp/index.snap");
+  const Command save = ParseCommandLine("SAVE out.snap", ProtocolLimits());
+  ASSERT_EQ(save.type, CommandType::kSave);
+  EXPECT_EQ(save.path, "out.snap");
+  // Exactly one blank-free path token; no more, no fewer.
+  for (const char* line :
+       {"RELOAD", "RELOAD a b", "SAVE", "SAVE a b", "reload x"}) {
+    EXPECT_EQ(ParseCommandLine(line, ProtocolLimits()).type,
+              CommandType::kMalformed)
+        << "'" << line << "'";
+  }
+}
+
 TEST(ParseQueryLineTest, StrictPairGrammar) {
   Vertex u = 0;
   Vertex v = 0;
@@ -169,8 +186,9 @@ class SessionTest : public ::testing::Test {
     auto index = ReachabilityIndex::Build(
         graph, std::make_unique<DistributionLabelingOracle>());
     ASSERT_TRUE(index.ok());
-    index_.emplace(std::move(*index));
-    context_.index = &*index_;
+    slot_.Publish(
+        std::make_shared<const ReachabilityIndex>(std::move(*index)));
+    context_.index = &slot_;
     context_.method = "DL";
     context_.graph_vertices = 5;
     context_.graph_edges = 3;
@@ -189,7 +207,7 @@ class SessionTest : public ::testing::Test {
     return response;
   }
 
-  std::optional<ReachabilityIndex> index_;
+  IndexSlot slot_;
   ServerStats stats_;
   SessionContext context_;
 };
@@ -221,10 +239,69 @@ TEST_F(SessionTest, BatchKeepsFrameAlignedThroughErrors) {
             "1\n");
   EXPECT_EQ(stats_.batches.load(), 1u);
   EXPECT_EQ(stats_.malformed.load(), 2u);
+  // Disjoint counters: only the two answered slots count as queries.
+  EXPECT_EQ(stats_.queries.load(), 2u);
   // The frame is over; the next line is a command again.
   std::string after;
   session.Feed("PING\n", &after);
   EXPECT_EQ(after, "PONG\n");
+}
+
+TEST_F(SessionTest, OutOfRangeQueriesCountAsMalformedNotQueries) {
+  // Regression: out-of-range Q/batch-slot rejects were once double-counted
+  // under both `queries` and `malformed`, so `queries` stopped meaning
+  // "answered queries". The counters are disjoint by contract.
+  Session session(&context_);
+  EXPECT_EQ(Run(&session, "Q 0 99\nQ 0 1\nBATCH 2\n0 99\n1 2\n"),
+            "ERR vertex out of range\n1\nERR vertex out of range\n1\n");
+  EXPECT_EQ(stats_.queries.load(), 2u);    // Only the answered ones.
+  EXPECT_EQ(stats_.malformed.load(), 2u);  // Only the rejected ones.
+}
+
+TEST_F(SessionTest, ReloadDelegatesToServerHookAndCountsSwaps) {
+  std::vector<std::string> paths;
+  context_.reload = [&](const std::string& path) {
+    paths.push_back(path);
+    return path == "/good.snap"
+               ? Status::OK()
+               : Status::IOError("cannot open index snapshot " + path);
+  };
+  Session session(&context_);
+  EXPECT_EQ(Run(&session, "RELOAD /good.snap\n"), "OK\n");
+  EXPECT_EQ(stats_.reloads.load(), 1u);
+  // A refused reload answers ERR, counts under malformed, and leaves the
+  // connection usable.
+  EXPECT_EQ(Run(&session, "RELOAD /bad.snap\nPING\n"),
+            "ERR cannot open index snapshot /bad.snap\nPONG\n");
+  EXPECT_EQ(stats_.reloads.load(), 1u);
+  EXPECT_EQ(stats_.malformed.load(), 1u);
+  EXPECT_EQ(paths,
+            (std::vector<std::string>{"/good.snap", "/bad.snap"}));
+}
+
+TEST_F(SessionTest, SaveDelegatesToServerHook) {
+  std::string saved;
+  context_.save = [&](const std::string& path) {
+    saved = path;
+    return Status::OK();
+  };
+  Session session(&context_);
+  EXPECT_EQ(Run(&session, "SAVE /tmp/live.snap\n"), "OK\n");
+  EXPECT_EQ(saved, "/tmp/live.snap");
+  EXPECT_EQ(stats_.saves.load(), 1u);
+}
+
+TEST_F(SessionTest, ReloadAndSaveWithoutHooksAnswerErr) {
+  // Session-level deployments (or tests) that wire no hooks still answer
+  // every line: ERR, not a crash or a dropped frame.
+  Session session(&context_);
+  const std::string response = Run(&session, "RELOAD x\nSAVE y\nPING\n");
+  EXPECT_EQ(response,
+            "ERR RELOAD is not available on this server\n"
+            "ERR SAVE is not available on this server\nPONG\n");
+  EXPECT_EQ(stats_.malformed.load(), 2u);
+  EXPECT_EQ(stats_.reloads.load(), 0u);
+  EXPECT_EQ(stats_.saves.load(), 0u);
 }
 
 TEST_F(SessionTest, ZeroBatchIsLegal) {
@@ -283,7 +360,7 @@ TEST_F(SessionTest, StatsBlockHasTheContractedKeys) {
   for (const char* key :
        {"method DL", "vertices 5", "edges 3", "components 5", "build_ms ",
         "index_integers ", "index_bytes ", "threads ", "connections 0",
-        "queries 2", "batches 1", "malformed 0"}) {
+        "queries 2", "batches 1", "reloads 0", "saves 0", "malformed 0"}) {
     EXPECT_NE(response.find(key), std::string::npos) << key;
   }
 }

@@ -6,6 +6,10 @@
 
 #include "server/server.h"
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -36,6 +40,8 @@ std::pair<std::vector<std::pair<Vertex, Vertex>>, std::vector<std::string>>
 MakeExpected(const ReachServer& reach_server, size_t num_queries,
              size_t num_vertices, uint64_t seed) {
   Rng rng(seed);
+  const std::shared_ptr<const ReachabilityIndex> index =
+      reach_server.index();
   std::vector<std::pair<Vertex, Vertex>> queries;
   std::vector<std::string> expected;
   queries.reserve(num_queries);
@@ -44,7 +50,7 @@ MakeExpected(const ReachServer& reach_server, size_t num_queries,
     const Vertex u = static_cast<Vertex>(rng.Uniform(num_vertices));
     const Vertex v = static_cast<Vertex>(rng.Uniform(num_vertices));
     queries.emplace_back(u, v);
-    expected.push_back(reach_server.index().Reachable(u, v) ? "1" : "0");
+    expected.push_back(index->Reachable(u, v) ? "1" : "0");
   }
   return {std::move(queries), std::move(expected)};
 }
@@ -187,7 +193,7 @@ TEST(ReachServerTest, SerializedOracleServesConcurrentClients) {
   const Digraph graph = RandomDag(150, 450, 9);
   ReachServer reach_server;
   ASSERT_TRUE(reach_server.Start(graph, QuickOptions("BFS")).ok());
-  ASSERT_FALSE(reach_server.index().oracle().ConcurrentQuerySafe());
+  ASSERT_FALSE(reach_server.index()->oracle().ConcurrentQuerySafe());
 
   constexpr int kClients = 2;
   // BFS queries race on scratch, so even the expected answers must be
@@ -286,6 +292,200 @@ TEST(ReachServerTest, StatsRoundTripThroughClient) {
   }
   EXPECT_TRUE(saw_method);
   EXPECT_TRUE(saw_queries);
+  client.Close();
+  reach_server.Stop();
+}
+
+/// A temp-dir snapshot path, cleaned up (with its .tmp sibling) at scope
+/// exit.
+class ScopedSnapshotPath {
+ public:
+  explicit ScopedSnapshotPath(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  ~ScopedSnapshotPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& get() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ReachServerTest, SaveThenReloadRoundTripsOverProtocol) {
+  const Digraph graph = RandomDag(120, 360, 17);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  ScopedSnapshotPath snap("save_then_reload.snap");
+
+  auto [queries, expected] = MakeExpected(reach_server, 500, 120, 31);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  // SAVE publishes the live index; RELOAD swaps onto the saved file.
+  EXPECT_EQ(*client.Save(snap.get()), "OK");
+  EXPECT_EQ(*client.Reload(snap.get()), "OK");
+  const auto answers = client.Batch(queries);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(*answers, expected);
+  EXPECT_EQ(reach_server.stats().saves.load(), 1u);
+  EXPECT_EQ(reach_server.stats().reloads.load(), 1u);
+  EXPECT_EQ(reach_server.stats().malformed.load(), 0u);
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, ReloadUnderConcurrentBatchLoad) {
+  // The swap-under-load acceptance bar: clients stream BATCH frames while
+  // another connection hammers RELOAD. Every answer must stay correct, no
+  // ERR may appear, and the old index must only die once its last
+  // in-flight query released it (ASan/TSan in CI check exactly that).
+  const Digraph graph = RandomDag(200, 600, 7);
+  ScopedSnapshotPath snap("reload_under_load.snap");
+  ReachServer reach_server;
+  ServerOptions options = QuickOptions("DL");
+  options.workers = 4;
+  options.save_index_path = snap.get();
+  ASSERT_TRUE(reach_server.Start(graph, options).ok());
+
+  constexpr int kClients = 2;
+  constexpr int kRounds = 20;
+  constexpr size_t kQueriesEach = 300;
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> queries(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    std::tie(queries[c], expected[c]) =
+        MakeExpected(reach_server, kQueriesEach, 200, 4000 + c);
+  }
+
+  std::atomic<bool> queries_done{false};
+  std::atomic<int> reloads_ok{0};
+  std::atomic<int> reloads_bad{0};
+  std::vector<int> ok(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", reach_server.port()).ok()) return;
+      for (int round = 0; round < kRounds; ++round) {
+        const auto answers = client.Batch(queries[c]);
+        if (!answers.ok() || *answers != expected[c]) return;
+      }
+      ok[c] = 1;
+    });
+  }
+  std::thread reloader([&] {
+    Client client;
+    if (!client.Connect("127.0.0.1", reach_server.port()).ok()) {
+      reloads_bad.fetch_add(1);
+      return;
+    }
+    while (!queries_done.load()) {
+      const auto line = client.Reload(snap.get());
+      if (line.ok() && *line == "OK") {
+        reloads_ok.fetch_add(1);
+      } else {
+        reloads_bad.fetch_add(1);
+        return;
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  queries_done.store(true);
+  reloader.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(ok[c]) << "client " << c << " saw a wrong or failed batch";
+  }
+  EXPECT_GE(reloads_ok.load(), 1);
+  EXPECT_EQ(reloads_bad.load(), 0);
+  EXPECT_EQ(reach_server.stats().reloads.load(),
+            static_cast<uint64_t>(reloads_ok.load()));
+  EXPECT_EQ(reach_server.stats().malformed.load(), 0u);
+  EXPECT_EQ(reach_server.stats().queries.load(),
+            uint64_t{kClients} * kRounds * kQueriesEach);
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, FailedReloadLeavesLiveIndexServing) {
+  const Digraph graph = ChainDag(8);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+
+  // Nonexistent path.
+  auto line = client.Reload("/no/such/snapshot.snap");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->rfind("ERR ", 0), 0u) << *line;
+
+  // Garbage bytes (bad magic).
+  ScopedSnapshotPath garbage("reload_garbage.snap");
+  {
+    std::ofstream out(garbage.get(), std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  line = client.Reload(garbage.get());
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->rfind("ERR ", 0), 0u) << *line;
+
+  // A valid snapshot, but for a different graph shape.
+  ScopedSnapshotPath foreign("reload_foreign.snap");
+  {
+    const Digraph other = RandomDag(50, 150, 3);
+    ReachServer other_server;
+    ServerOptions other_options = QuickOptions("DL");
+    other_options.save_index_path = foreign.get();
+    ASSERT_TRUE(other_server.Start(other, other_options).ok());
+    other_server.Stop();
+  }
+  line = client.Reload(foreign.get());
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->rfind("ERR ", 0), 0u) << *line;
+
+  // Every failure left the live index untouched and the connection usable.
+  EXPECT_EQ(*client.Query(0, 7), "1");
+  EXPECT_EQ(*client.Query(7, 0), "0");
+  EXPECT_EQ(reach_server.stats().reloads.load(), 0u);
+  EXPECT_EQ(reach_server.stats().malformed.load(), 3u);
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, ReloadRefusedForNonSnapshotMethod) {
+  // BFS has no snapshot form; RELOAD (and SAVE) must refuse without
+  // touching the live traversal index.
+  const Digraph graph = ChainDag(5);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("BFS")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  ScopedSnapshotPath snap("bfs_refused.snap");
+  auto line = client.Save(snap.get());
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->rfind("ERR ", 0), 0u) << *line;
+  line = client.Reload(snap.get());
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->rfind("ERR ", 0), 0u) << *line;
+  EXPECT_EQ(*client.Query(0, 4), "1");
+  client.Close();
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, OutOfRangeQueryCountsOnlyAsMalformed) {
+  // Wire-level pin of the disjoint-counter contract (the session-level pin
+  // lives in protocol_test.cc).
+  const Digraph graph = ChainDag(4);
+  ReachServer reach_server;
+  ASSERT_TRUE(reach_server.Start(graph, QuickOptions("DL")).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+  EXPECT_EQ(*client.Query(0, 3), "1");
+  EXPECT_EQ(client.Query(0, 99)->rfind("ERR ", 0), 0u);
+  EXPECT_EQ(reach_server.stats().queries.load(), 1u);
+  EXPECT_EQ(reach_server.stats().malformed.load(), 1u);
   client.Close();
   reach_server.Stop();
 }

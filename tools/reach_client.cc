@@ -1,9 +1,13 @@
 // Scripted client for reach_serve: reads "u v" query pairs from stdin,
 // sends them as one BATCH frame, and prints one answer line per query.
-// Optional follow-ups on the same connection: --stats (print the STATS
-// block rows) and --shutdown (drain the server).
+// Optional follow-ups on the same connection, in this order: --save=PATH
+// (atomically write the live index snapshot server-side), --reload=PATH
+// (hot-swap the server onto a snapshot), --stats (print the STATS block
+// rows), and --shutdown (drain the server).
 //
 //   printf '0 1\n1 2\n' | reach_client --port=4000
+//   reach_client --port=4000 --save=/tmp/index.snap </dev/null
+//   reach_client --port=4000 --reload=/tmp/index.snap </dev/null
 //   reach_client --port=4000 --shutdown </dev/null
 
 #include <cstdint>
@@ -21,9 +25,14 @@ namespace {
 void Usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: reach_client --port=P [--host=ADDR] [--stats] [--shutdown]\n"
+      "usage: reach_client --port=P [--host=ADDR] [--save=PATH]\n"
+      "                    [--reload=PATH] [--stats] [--shutdown]\n"
       "  --port=P      server TCP port (required)\n"
       "  --host=ADDR   server IPv4 address (default 127.0.0.1)\n"
+      "  --save=PATH   after the batch, SAVE the live index snapshot to\n"
+      "                the server-side PATH (atomic tmp+rename publish)\n"
+      "  --reload=PATH after --save, RELOAD: hot-swap the server onto the\n"
+      "                snapshot at the server-side PATH\n"
       "  --stats       after the batch, print the server's STATS rows\n"
       "  --shutdown    after everything else, drain the server\n"
       "  stdin         'u v' pairs sent as one BATCH; empty stdin sends "
@@ -43,6 +52,8 @@ int main(int argc, char** argv) {
   }
   std::string host = "127.0.0.1";
   uint64_t port = 0;
+  std::string save_path;
+  std::string reload_path;
   bool want_stats = false;
   bool want_shutdown = false;
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +69,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--host=", 0) == 0) {
       host = arg.substr(7);
+    } else if (arg.rfind("--save=", 0) == 0) {
+      save_path = arg.substr(7);
+      if (save_path.empty()) {
+        std::fprintf(stderr, "error: --save requires a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--reload=", 0) == 0) {
+      reload_path = arg.substr(9);
+      if (reload_path.empty()) {
+        std::fprintf(stderr, "error: --reload requires a path\n");
+        return 2;
+      }
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--shutdown") {
@@ -109,6 +132,32 @@ int main(int argc, char** argv) {
     }
     for (const std::string& answer : *answers) {
       std::printf("%s\n", answer.c_str());
+    }
+  }
+  if (!save_path.empty()) {
+    auto line = client.Save(save_path);
+    if (!line.ok()) {
+      std::fprintf(stderr, "save failed: %s\n",
+                   line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    if (*line != "OK") {
+      std::fprintf(stderr, "server refused SAVE: %s\n", line->c_str());
+      return 1;
+    }
+  }
+  if (!reload_path.empty()) {
+    auto line = client.Reload(reload_path);
+    if (!line.ok()) {
+      std::fprintf(stderr, "reload failed: %s\n",
+                   line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    if (*line != "OK") {
+      std::fprintf(stderr, "server refused RELOAD: %s\n", line->c_str());
+      return 1;
     }
   }
   if (want_stats) {

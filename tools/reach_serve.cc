@@ -12,9 +12,16 @@
 // means a clean drain.
 //
 // --save-index writes the built index as a sealed snapshot after
-// construction; --load-index restores it on a restart, skipping the build
-// entirely (the startup log says so). The two flags are mutually
-// exclusive. Snapshot-capable methods: DL, HL, TF, 2HOP.
+// construction (published atomically: tmp + rename, so a failed write
+// never leaves a partial file); --load-index restores it on a restart,
+// skipping the build entirely (the startup log says so). The two flags are
+// mutually exclusive. Snapshot-capable methods: DL, HL, TF, 2HOP.
+//
+// A running server can also be hot-swapped onto a fresh snapshot without a
+// restart: the RELOAD <path> protocol verb validates the snapshot (same
+// method + graph shape) and atomically publishes it while in-flight
+// queries finish on the old index, and SAVE <path> writes the live index
+// snapshot on demand (same atomic publish).
 
 #include <csignal>
 #include <cstdint>
@@ -56,10 +63,12 @@ void Usage(std::FILE* out) {
       "  --workers=N    concurrent client connections served (default 4)\n"
       "  --max-batch=N  largest accepted BATCH count (default %llu)\n"
       "  --save-index=PATH  write the built index snapshot to PATH\n"
+      "                 (atomic publish: tmp + rename)\n"
       "  --load-index=PATH  restore the index from PATH instead of\n"
       "                 building (must match GRAPH and --method; DL, HL,\n"
       "                 TF, 2HOP only; exclusive with --save-index)\n"
-      "protocol: 'Q u v' | 'BATCH n' + n 'u v' lines | STATS | PING | "
+      "protocol: 'Q u v' | 'BATCH n' + n 'u v' lines | STATS | PING |\n"
+      "          'RELOAD <path>' (hot index swap) | 'SAVE <path>' | "
       "SHUTDOWN\n",
       static_cast<unsigned long long>(
           reach::server::ProtocolLimits().max_batch));
