@@ -40,58 +40,183 @@ void BM_SortedIntersects(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedIntersects)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 
-// --- Intersection-kernel suite: merge vs gallop vs adaptive across size
-// ratios 1:1 .. 1:10^4, so kGallopRatio (the adaptive crossover) is
-// measured rather than guessed. Args are {|small|, ratio}; |large| =
-// |small| * ratio. Mostly-negative intersections (disjoint-by-value
-// universes would be unfair to merge; these share one universe, so the
-// kernels do real work).
+// --- Intersection-kernel suite: merge vs gallop vs SIMD vs adaptive
+// across size ratios 1:1 .. 1:10^4 and three key distributions, so the
+// crossover constants (kGallopRatio, kSimdMinBalanced) are measured rather
+// than guessed. Args are {|small|, ratio, dist}; |large| = |small| * ratio.
+//
+// Distributions (hop labels are not uniform keys, so the crossovers are
+// measured on label-shaped data too):
+//   0 uniform    independent uniform keys, mostly-negative intersections
+//                (one shared universe so the kernels do real work)
+//   1 clustered  runs-heavy: keys arrive in runs of ~16 consecutive values
+//                (DL admits contiguous stretches of order positions, so
+//                real labels cluster; runs make merge's branch predictor
+//                look good and gallop overshoot)
+//   2 firsthit   both sides share their smallest element (the shape of a
+//                positive query certified by the highest-order hop: the
+//                scan answers true on the first comparison; measures each
+//                kernel's fixed overhead, which the adaptive tree must not
+//                regress)
+
+enum class KeyDist { kUniform = 0, kClustered = 1, kFirstHit = 2 };
+
+std::vector<uint32_t> ClusteredSortedVector(size_t n, uint32_t universe,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  while (v.size() < n) {
+    uint32_t key = static_cast<uint32_t>(rng.Uniform(universe));
+    const size_t run = 1 + rng.Uniform(31);  // Mean run ~16.
+    for (size_t i = 0; i < run && v.size() < n; ++i) v.push_back(key++);
+  }
+  SortUnique(&v);
+  return v;
+}
 
 std::pair<std::vector<uint32_t>, std::vector<uint32_t>> RatioInputs(
-    size_t small_len, size_t ratio) {
+    size_t small_len, size_t ratio, KeyDist dist) {
   const uint32_t universe = 1 << 24;
-  auto small = RandomSortedVector(small_len, universe, 11);
-  auto large = RandomSortedVector(small_len * ratio, universe, 12);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  switch (dist) {
+    case KeyDist::kUniform:
+      small = RandomSortedVector(small_len, universe, 11);
+      large = RandomSortedVector(small_len * ratio, universe, 12);
+      break;
+    case KeyDist::kClustered:
+      small = ClusteredSortedVector(small_len, universe, 11);
+      large = ClusteredSortedVector(small_len * ratio, universe, 12);
+      break;
+    case KeyDist::kFirstHit:
+      small = RandomSortedVector(small_len, universe, 11);
+      large = RandomSortedVector(small_len * ratio, universe, 12);
+      if (!small.empty() && !large.empty()) {
+        const uint32_t shared = std::min(small.front(), large.front());
+        small.front() = shared;
+        large.front() = shared;
+      }
+      break;
+  }
   return {std::move(small), std::move(large)};
 }
 
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> StateInputs(
+    const benchmark::State& state) {
+  return RatioInputs(static_cast<size_t>(state.range(0)),
+                     static_cast<size_t>(state.range(1)),
+                     static_cast<KeyDist>(state.range(2)));
+}
+
 void BM_IntersectMerge(benchmark::State& state) {
-  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
-                                    static_cast<size_t>(state.range(1)));
+  auto [small, large] = StateInputs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(MergeIntersects(small, large));
   }
 }
 
 void BM_IntersectGallop(benchmark::State& state) {
-  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
-                                    static_cast<size_t>(state.range(1)));
+  auto [small, large] = StateInputs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(GallopIntersects(small, large));
   }
 }
 
+// The SIMD block kernel (util/simd.h); at tier 0 this times the scalar
+// merge, so compare against BM_IntersectMerge only on a SIMD build (the
+// reported label below says which tier ran).
+void BM_IntersectSimd(benchmark::State& state) {
+  auto [small, large] = StateInputs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimdIntersects(small, large));
+  }
+  state.SetLabel(SimdKernelName());
+}
+
+void BM_IntersectSimdGallop(benchmark::State& state) {
+  auto [small, large] = StateInputs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimdGallopIntersects(small, large));
+  }
+  state.SetLabel(SimdKernelName());
+}
+
 void BM_IntersectAdaptive(benchmark::State& state) {
-  auto [small, large] = RatioInputs(static_cast<size_t>(state.range(0)),
-                                    static_cast<size_t>(state.range(1)));
+  auto [small, large] = StateInputs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SortedIntersects(small, large));
   }
+  state.SetLabel(SimdEnabled() ? SimdKernelName() : "scalar");
 }
 
 void IntersectRatioArgs(benchmark::internal::Benchmark* b) {
-  for (const int64_t ratio : {1, 8, 32, 100, 1000, 10000}) {
-    b->Args({16, ratio});
-  }
-  // A second small-side size around typical label lengths.
-  for (const int64_t ratio : {1, 32, 1000}) {
-    b->Args({128, ratio});
+  for (const int64_t dist : {0, 1, 2}) {
+    for (const int64_t ratio : {1, 8, 32, 100, 1000, 10000}) {
+      b->Args({16, ratio, dist});
+    }
+    // Balanced sizes around (and past) typical label lengths: where the
+    // SIMD block kernel vs scalar merge crossover (kSimdMinBalanced) and
+    // the headline 128:128 comparison live.
+    for (const int64_t small : {8, 32, 128, 512}) {
+      b->Args({small, 1, dist});
+    }
+    for (const int64_t ratio : {32, 1000}) {
+      b->Args({128, ratio, dist});
+    }
   }
 }
 
 BENCHMARK(BM_IntersectMerge)->Apply(IntersectRatioArgs);
 BENCHMARK(BM_IntersectGallop)->Apply(IntersectRatioArgs);
+BENCHMARK(BM_IntersectSimd)->Apply(IntersectRatioArgs);
+BENCHMARK(BM_IntersectSimdGallop)->Apply(IntersectRatioArgs);
 BENCHMARK(BM_IntersectAdaptive)->Apply(IntersectRatioArgs);
+
+// --- SortedUnionInto: the append fast path (src entirely >= dst.back(),
+// the shape of DL's ordered hop admissions) vs the general allocate-merge
+// it replaces. Arg is |dst| = |src|.
+void BM_SortedUnionAppend(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> dst_proto;
+  std::vector<uint32_t> src;
+  for (uint32_t i = 0; i < len; ++i) dst_proto.push_back(i);
+  for (uint32_t i = 0; i < len; ++i) {
+    src.push_back(static_cast<uint32_t>(len) + i);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint32_t> dst = dst_proto;
+    dst.reserve(2 * len);
+    state.ResumeTiming();
+    SortedUnionInto(&dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_SortedUnionAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The general-merge control: one src element below dst.back() disables the
+// append path, so this times the fresh-vector set_union on inputs of the
+// same size (the cost the fast path removes).
+void BM_SortedUnionMergeFallback(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> dst_proto;
+  std::vector<uint32_t> src;
+  for (uint32_t i = 0; i < len; ++i) dst_proto.push_back(2 * i + 1);
+  src.push_back(0);  // Below dst.front(): forces the general merge.
+  for (uint32_t i = 1; i < len; ++i) {
+    src.push_back(2 * (static_cast<uint32_t>(len) + i));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint32_t> dst = dst_proto;
+    dst.reserve(2 * len);
+    state.ResumeTiming();
+    SortedUnionInto(&dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_SortedUnionMergeFallback)->Arg(64)->Arg(1024)->Arg(16384);
 
 // The O(1) range rejection: two big labels whose key windows are disjoint
 // (exactly what DL's total-order keys produce on most negative queries).

@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace reach {
@@ -38,17 +39,7 @@ Session::State Session::Feed(std::string_view bytes, std::string* out) {
 
 void Session::HandleLine(std::string_view line, std::string* out) {
   if (batch_remaining_ > 0) {
-    // Inside a BATCH frame every line is a query slot; a malformed slot
-    // answers ERR in place so the response stays n lines for n queries.
-    --batch_remaining_;
-    Vertex u = 0;
-    Vertex v = 0;
-    if (!ParseQueryLine(line, &u, &v)) {
-      context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
-      *out += "ERR batch line: expected 'u v'\n";
-      return;
-    }
-    AnswerQuery(u, v, out);
+    HandleBatchLine(line, out);
     return;
   }
 
@@ -60,6 +51,7 @@ void Session::HandleLine(std::string_view line, std::string* out) {
     case CommandType::kBatch:
       context_->stats->batches.fetch_add(1, std::memory_order_relaxed);
       batch_remaining_ = command.batch_count;
+      batch_slots_.clear();
       return;
     case CommandType::kStats:
       AppendStats(out);
@@ -82,6 +74,77 @@ void Session::HandleLine(std::string_view line, std::string* out) {
       *out += "ERR " + command.error + "\n";
       return;
   }
+}
+
+void Session::HandleBatchLine(std::string_view line, std::string* out) {
+  // Inside a BATCH frame every line is a query slot; malformed or
+  // out-of-range slots answer ERR in place so the response stays n lines
+  // for n queries. Slots are buffered and executed together when the frame
+  // completes (FlushBatch), which lets execution group them by source.
+  --batch_remaining_;
+  BatchSlot slot;
+  if (!ParseQueryLine(line, &slot.u, &slot.v)) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    slot.kind = BatchSlot::Kind::kParseError;
+  } else if (slot.u >= context_->graph_vertices ||
+             slot.v >= context_->graph_vertices) {
+    context_->stats->malformed.fetch_add(1, std::memory_order_relaxed);
+    slot.kind = BatchSlot::Kind::kRangeError;
+  }
+  batch_slots_.push_back(slot);
+  if (batch_remaining_ == 0) FlushBatch(out);
+}
+
+void Session::FlushBatch(std::string* out) {
+  // Execute the frame's valid slots grouped by source vertex: consecutive
+  // queries from the same u walk the same sealed Lout(u) span, so its cache
+  // lines (and the label-size-driven branch pattern inside the adaptive
+  // intersection) stay hot instead of being evicted between repeats. The
+  // stable sort keeps same-source slots in arrival order, and answers are
+  // emitted by arrival slot regardless of execution order.
+  batch_order_.clear();
+  for (uint32_t i = 0; i < batch_slots_.size(); ++i) {
+    if (batch_slots_[i].kind == BatchSlot::Kind::kQuery) {
+      batch_order_.push_back(i);
+    }
+  }
+  std::stable_sort(batch_order_.begin(), batch_order_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return batch_slots_[a].u < batch_slots_[b].u;
+                   });
+  // One pinned index reference for the whole frame (not per slot): a RELOAD
+  // published mid-frame takes effect on the next frame, and every slot of
+  // one frame is answered against one coherent index.
+  const std::shared_ptr<const ReachabilityIndex> index =
+      context_->index->Acquire();
+  batch_answers_.assign(batch_slots_.size(), '0');
+  for (const uint32_t i : batch_order_) {
+    const BatchSlot& slot = batch_slots_[i];
+    bool reachable;
+    if (context_->query_mutex != nullptr) {
+      std::lock_guard<std::mutex> lock(*context_->query_mutex);
+      reachable = index->Reachable(slot.u, slot.v);
+    } else {
+      reachable = index->Reachable(slot.u, slot.v);
+    }
+    context_->stats->queries.fetch_add(1, std::memory_order_relaxed);
+    batch_answers_[i] = reachable ? '1' : '0';
+  }
+  for (uint32_t i = 0; i < batch_slots_.size(); ++i) {
+    switch (batch_slots_[i].kind) {
+      case BatchSlot::Kind::kQuery:
+        *out += batch_answers_[i];
+        *out += '\n';
+        break;
+      case BatchSlot::Kind::kParseError:
+        *out += "ERR batch line: expected 'u v'\n";
+        break;
+      case BatchSlot::Kind::kRangeError:
+        *out += "ERR vertex out of range\n";
+        break;
+    }
+  }
+  batch_slots_.clear();
 }
 
 void Session::AnswerQuery(Vertex u, Vertex v, std::string* out) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/reachability.h"
 #include "server/protocol.h"
@@ -117,7 +118,23 @@ class Session {
   State state() const { return state_; }
 
  private:
+  /// One buffered BATCH body line, classified at parse time. Rejected slots
+  /// keep their arrival position so the response stays n lines for n
+  /// queries; valid slots are executed grouped by source vertex.
+  struct BatchSlot {
+    enum class Kind : uint8_t {
+      kQuery,       // Valid pair; answer "1"/"0".
+      kParseError,  // Not "u v"; answer ERR in place.
+      kRangeError,  // Vertex id out of range; answer ERR in place.
+    };
+    Vertex u = 0;
+    Vertex v = 0;
+    Kind kind = Kind::kQuery;
+  };
+
   void HandleLine(std::string_view line, std::string* out);
+  void HandleBatchLine(std::string_view line, std::string* out);
+  void FlushBatch(std::string* out);
   void AnswerQuery(Vertex u, Vertex v, std::string* out);
   void HandleReload(const std::string& path, std::string* out);
   void HandleSave(const std::string& path, std::string* out);
@@ -126,7 +143,10 @@ class Session {
   const SessionContext* context_;
   LineBuffer lines_;
   State state_ = State::kOpen;
-  uint64_t batch_remaining_ = 0;  // Body lines still expected.
+  uint64_t batch_remaining_ = 0;       // Body lines still expected.
+  std::vector<BatchSlot> batch_slots_;  // Buffered frame, arrival order.
+  std::vector<uint32_t> batch_order_;  // Valid slot indices, source-grouped.
+  std::vector<char> batch_answers_;    // Per-slot '0'/'1', arrival-indexed.
 };
 
 }  // namespace server

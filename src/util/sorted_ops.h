@@ -13,11 +13,17 @@
 //   2. Galloping (exponential-search) scan when one side is much smaller
 //      than the other (|small| * kGallopRatio < |large|): each element of
 //      the small side is located in the large side in O(log gap) instead of
-//      scanning the gap linearly — O(|small| * log |large|) total.
-//   3. Two-pointer merge for balanced sizes: O(|a| + |b|).
+//      scanning the gap linearly — O(|small| * log |large|) total. AVX2
+//      builds resolve the probe's final window vectorized at moderate skew
+//      (SimdGallopIntersects, util/simd.h; see kSimdGallopMaxRatio).
+//   3. Balanced sizes: the SIMD block-compare kernel (SimdIntersects) when
+//      compiled in, enabled, and the small side has at least
+//      kSimdMinBalanced elements; the scalar two-pointer merge otherwise.
+//      Both are O(|a| + |b|), the block kernel retires one W-lane block per
+//      branchless step.
 //
-// The crossover constant kGallopRatio is measured, not guessed: see the
-// BM_Intersect* suite in bench/bench_micro.cc.
+// The crossover constants kGallopRatio and kSimdMinBalanced are measured,
+// not guessed: see the BM_Intersect* suite in bench/bench_micro.cc.
 
 #ifndef REACH_UTIL_SORTED_OPS_H_
 #define REACH_UTIL_SORTED_OPS_H_
@@ -28,14 +34,44 @@
 #include <span>
 #include <vector>
 
+#include "util/simd.h"
+
 namespace reach {
 
-/// Size ratio beyond which SortedIntersects switches from the two-pointer
-/// merge to galloping: gallop when |small| * kGallopRatio < |large|.
-/// Measured with BM_Intersect{Merge,Gallop} (bench_micro): gallop already
-/// edges out merge near ratio 8 (92 vs 110 ns at 16:128) and wins 4x by
-/// ratio 32 (126 vs 487 ns at 16:512); merge stays ahead below ~4.
+/// Size ratio beyond which SortedIntersects switches from the (merge or
+/// block) scan to galloping: gallop when |small| * kGallopRatio < |large|.
+/// Measured with BM_Intersect{Merge,Gallop,Simd,SimdGallop} (bench_micro)
+/// on uniform, clustered-runs, and first-hit key distributions (AVX2
+/// numbers; SSE2 tracks the same shape):
+///   16:128  (ratio 8)   merge 198ns / gallop 106 / simd-block 56
+///   16:512  (ratio 32)  merge ~760  / gallop 137 / simd-block 209
+///   16:1600 (ratio 100) merge 2722  / gallop 186 / simd-block 742
+/// Clustered keys shrink everything but keep the same ordering. Scalar
+/// gallop overtakes merge right at ratio 8 and overtakes the block kernel
+/// between ratios 8 and 32; ratio 8 stays the switch point because the
+/// block kernel only back-fills the 8..16 band (a few ns either way) while
+/// merge loses badly past it.
 inline constexpr size_t kGallopRatio = 8;
+
+/// The gallop tier takes the vectorized probe (SimdGallopIntersects) only
+/// on the AVX2 tier and only at moderate skew — |large| below |small| *
+/// this ratio. Measured: AVX2 wins at 128:4096 (936ns vs scalar 1180) but
+/// loses at 128:128000 (2719 vs 2194) and on clustered 16:1600 (114 vs
+/// 76) — at extreme skew the probe lands in one cache line and the scalar
+/// binary-search descent is already minimal, so the 8-lane window compare
+/// is pure overhead. SSE2's 4-lane window never recoups its setup (128:
+/// 4096 uniform: 1425 vs scalar 1167), so tier 1 stays on scalar gallop.
+inline constexpr size_t kSimdGallopMaxRatio = 64;
+
+/// Minimum size of the smaller side before the balanced path uses the SIMD
+/// block kernel: one full SSE2/AVX2 comparison block. Measured by
+/// BM_IntersectSimd vs BM_IntersectMerge — the block kernel already wins
+/// 3.3x at 8:8 on AVX2 (3.7ns vs 12.0) and 1.9x on SSE2, and the win grows
+/// with size (128:128 uniform: 103ns vs 244, 2.4x). The only shape where
+/// merge stays ahead is an immediate first-element hit (1.3ns vs ~2-3.5ns
+/// fixed vector setup), which the threshold cannot see; the ~2ns loss
+/// there is accepted for the 2-3x win everywhere else.
+inline constexpr size_t kSimdMinBalanced = 8;
 
 /// O(1) pretest: true when the [front, back] windows of two sorted
 /// non-empty ranges overlap. Disjoint windows cannot share an element.
@@ -87,12 +123,23 @@ inline bool GallopIntersects(std::span<const uint32_t> small,
 }
 
 /// True if the two sorted ranges share at least one element. Adaptive:
-/// range rejection, then gallop or merge by size ratio (header comment).
+/// range rejection, then gallop or merge by size ratio (header comment),
+/// each tier taking its vector kernel when compiled in and enabled
+/// (util/simd.h). Answers are bit-identical with SIMD on or off.
 inline bool SortedIntersects(std::span<const uint32_t> a,
                              std::span<const uint32_t> b) {
   if (!SortedRangesOverlap(a, b)) return false;
   if (a.size() > b.size()) std::swap(a, b);
-  if (a.size() * kGallopRatio < b.size()) return GallopIntersects(a, b);
+  if (a.size() * kGallopRatio < b.size()) {
+    if (SimdEnabled() && kSimdTier >= 2 &&
+        b.size() < a.size() * kSimdGallopMaxRatio) {
+      return SimdGallopIntersects(a, b);
+    }
+    return GallopIntersects(a, b);
+  }
+  if (SimdEnabled() && a.size() >= kSimdMinBalanced) {
+    return SimdIntersects(a, b);
+  }
   return MergeIntersects(a, b);
 }
 
@@ -109,12 +156,24 @@ inline bool SortedInsert(std::vector<uint32_t>* v, uint32_t x) {
   return true;
 }
 
-/// Merges sorted `src` into sorted `dst`, dropping duplicates.
+/// Merges sorted `src` into sorted `dst`, dropping duplicates. When `src`
+/// lies entirely at or above `dst`'s back — the common case for ordered
+/// hop admissions, where every new key exceeds the keys already stored —
+/// the merge degenerates to an in-place append (no fresh allocation, no
+/// re-copy of the `dst` prefix; BM_SortedUnionAppend vs
+/// BM_SortedUnionMergeFallback pins the win — 317ns vs 2650ns at 1024).
 inline void SortedUnionInto(std::vector<uint32_t>* dst,
                             const std::vector<uint32_t>& src) {
   if (src.empty()) return;
   if (dst->empty()) {
     *dst = src;
+    return;
+  }
+  if (src.front() >= dst->back()) {
+    // Sorted-unique inputs: at most the seam element can repeat.
+    dst->insert(dst->end(),
+                src.begin() + (src.front() == dst->back() ? 1 : 0),
+                src.end());
     return;
   }
   std::vector<uint32_t> out;

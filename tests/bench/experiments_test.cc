@@ -20,8 +20,9 @@ TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
   }
   const char* expected[] = {"table1", "table2", "table3", "table4",
                             "table5", "table6", "table7", "fig3",
-                            "fig4",   "serve_quick", "query_quick"};
-  EXPECT_EQ(counts.size(), 11u);
+                            "fig4",   "serve_quick", "query_quick",
+                            "query_grouped_quick"};
+  EXPECT_EQ(counts.size(), 12u);
   for (const char* id : expected) {
     EXPECT_EQ(counts[id], 1) << id;
   }
@@ -31,7 +32,8 @@ TEST(ExperimentRegistryTest, IdsInPaperOrder) {
   EXPECT_EQ(ExperimentIds(),
             (std::vector<std::string>{"table1", "table2", "table3", "table4",
                                       "table5", "table6", "table7", "fig3",
-                                      "fig4", "serve_quick", "query_quick"}));
+                                      "fig4", "serve_quick", "query_quick",
+                                      "query_grouped_quick"}));
 }
 
 TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
@@ -75,7 +77,8 @@ TEST(ExperimentRegistryTest, SmallAndLargeTiersBothCovered) {
     if (spec.kind != ExperimentKind::kTable) continue;
     (spec.large ? large : small) += 1;
   }
-  EXPECT_EQ(small, 5u);  // table2, table3, table4, fig3, query_quick.
+  // table2, table3, table4, fig3, query_quick, query_grouped_quick.
+  EXPECT_EQ(small, 6u);
   EXPECT_EQ(large, 4u);  // table5, table6, table7, fig4.
 }
 
@@ -161,6 +164,23 @@ TEST(ExperimentRegistryTest, QueryQuickShape) {
   const std::vector<DatasetSpec> rows = DatasetsFor(*spec);
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
+  // The ungrouped cell must really be ungrouped — the grouped variant is a
+  // separate id so the baseline JSON keeps both numbers.
+  EXPECT_FALSE(spec->group_queries_by_source);
+}
+
+TEST(ExperimentRegistryTest, QueryGroupedQuickMirrorsQueryQuick) {
+  const auto grouped = FindExperiment("query_grouped_quick");
+  const auto plain = FindExperiment("query_quick");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(grouped->group_queries_by_source);
+  // Same rows, columns, metric, and workload: the only variable between
+  // the two cells is the source-grouped execution order.
+  EXPECT_EQ(grouped->metric, plain->metric);
+  EXPECT_EQ(grouped->workload, plain->workload);
+  EXPECT_EQ(grouped->dataset_subset, plain->dataset_subset);
+  EXPECT_EQ(grouped->default_methods, plain->default_methods);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "graph/generators.h"
 #include "graph/topology.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace reach {
 namespace {
@@ -128,6 +129,47 @@ TEST_P(DifferentialFuzzTest, SealedStoreMatchesPreSealAnswers) {
               << oc.name << " family " << GraphFamilyName(c.family)
               << " seed " << seed << " threads " << threads << " pair ("
               << u << "," << v << ")";
+        }
+      }
+    }
+  }
+}
+
+// The SIMD intersection kernels must be invisible in answers: the FULL
+// sealed-store query matrix with the runtime SIMD switch off equals the
+// matrix with it on, for every labeling oracle. (util/simd_test.cc fuzzes
+// the kernels on synthetic ranges; this drives them through real label
+// shapes — short skewed spans, range-rejected pairs, shared-hop hits.)
+TEST_P(DifferentialFuzzTest, SealedStoreAnswersInvariantToSimdSwitch) {
+  const uint64_t seed = GetParam();
+  const FuzzCase cases[] = {
+      {GraphFamily::kSparseRandom, 90, 230},
+      {GraphFamily::kDenseLayers, 70, 420},
+  };
+  for (const FuzzCase& c : cases) {
+    Digraph g = GenerateFamily(c.family, c.vertices, c.edges, seed * 271);
+    ASSERT_TRUE(IsDag(g)) << GraphFamilyName(c.family);
+    const size_t n = g.num_vertices();
+    DistributionLabelingOracle dl;
+    HierarchicalLabelingOracle hl;
+    HierarchicalLabelingOracle tf(HierarchicalLabelingOracle::TfLabelOptions());
+    TwoHopOracle twohop;
+    const std::pair<const char*, ReachabilityOracle*> oracles[] = {
+        {"DL", &dl}, {"HL", &hl}, {"TF", &tf}, {"2HOP", &twohop}};
+    for (const auto& [name, oracle] : oracles) {
+      ASSERT_TRUE(oracle->Build(g).ok()) << name << " seed " << seed;
+    }
+    for (const auto& [name, oracle] : oracles) {
+      for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = 0; v < n; ++v) {
+          SetSimdEnabled(true);
+          const bool with_simd = oracle->Reachable(u, v);
+          SetSimdEnabled(false);
+          const bool without_simd = oracle->Reachable(u, v);
+          SetSimdEnabled(true);
+          ASSERT_EQ(with_simd, without_simd)
+              << name << " family " << GraphFamilyName(c.family) << " seed "
+              << seed << " pair (" << u << "," << v << ")";
         }
       }
     }

@@ -94,6 +94,44 @@ TEST(SortedOpsTest, UnionInto) {
   EXPECT_EQ(empty, (std::vector<uint32_t>{3, 3'000'000}));
 }
 
+TEST(SortedOpsTest, UnionIntoAppendsInPlaceWhenSrcIsAllGreater) {
+  // src entirely above dst->back(): the append fast path, which must not
+  // reallocate when capacity suffices and must still dedup the seam.
+  std::vector<uint32_t> dst{1, 4, 6};
+  dst.reserve(8);
+  const uint32_t* data_before = dst.data();
+  SortedUnionInto(&dst, {7, 9});
+  EXPECT_EQ(dst, (std::vector<uint32_t>{1, 4, 6, 7, 9}));
+  EXPECT_EQ(dst.data(), data_before);  // Appended in place.
+  // Seam duplicate: src.front() == dst->back() keeps exactly one copy.
+  SortedUnionInto(&dst, {9, 12});
+  EXPECT_EQ(dst, (std::vector<uint32_t>{1, 4, 6, 7, 9, 12}));
+  EXPECT_EQ(dst.data(), data_before);
+  // One element below the back disables the fast path but not correctness.
+  SortedUnionInto(&dst, {11, 13});
+  EXPECT_EQ(dst, (std::vector<uint32_t>{1, 4, 6, 7, 9, 11, 12, 13}));
+}
+
+TEST(SortedOpsTest, UnionIntoRandomizedMatchesSetUnion) {
+  Rng rng(404);
+  for (int round = 0; round < 200; ++round) {
+    std::set<uint32_t> sd;
+    std::set<uint32_t> ss;
+    for (size_t i = rng.Uniform(12); i > 0; --i) sd.insert(rng.Uniform(64));
+    // Bias some rounds into the append regime (src above dst's window).
+    const uint32_t base = round % 2 == 0 ? 64 : 0;
+    for (size_t i = rng.Uniform(12); i > 0; --i) {
+      ss.insert(base + rng.Uniform(64));
+    }
+    std::vector<uint32_t> dst(sd.begin(), sd.end());
+    const std::vector<uint32_t> src(ss.begin(), ss.end());
+    std::set<uint32_t> expected = sd;
+    expected.insert(ss.begin(), ss.end());
+    SortedUnionInto(&dst, src);
+    EXPECT_EQ(dst, std::vector<uint32_t>(expected.begin(), expected.end()));
+  }
+}
+
 TEST(SortedOpsTest, SortUnique) {
   std::vector<uint32_t> v{5, 1, 5, 3, 1};
   SortUnique(&v);
