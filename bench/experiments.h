@@ -78,6 +78,8 @@ enum class ExperimentKind {
   kInventory,  // Table 1: the dataset listing (no methods, no metric).
   kTable,      // datasets x methods under one metric.
   kServe,      // datasets x methods measured through a loopback server.
+  kPrefilter,  // (dataset x query mix) rows; every method bare vs wrapped
+               // in the O(1) pre-filter tier, with per-mix hit rates.
 };
 
 /// One paper table/figure: what it runs and what the paper says it shows.

@@ -271,9 +271,10 @@ void JsonReporter::EndExperiment() {
   writer_.KeyString("id", spec_.id);
   writer_.KeyString("title", spec_.title);
   writer_.KeyString("kind",
-                    spec_.kind == ExperimentKind::kInventory ? "inventory"
-                    : spec_.kind == ExperimentKind::kServe   ? "serve"
-                                                             : "table");
+                    spec_.kind == ExperimentKind::kInventory   ? "inventory"
+                    : spec_.kind == ExperimentKind::kServe     ? "serve"
+                    : spec_.kind == ExperimentKind::kPrefilter ? "prefilter"
+                                                               : "table");
   if (spec_.kind != ExperimentKind::kInventory) {
     writer_.KeyString("metric", MetricName(spec_.metric));
     writer_.KeyString("workload", WorkloadName(spec_.workload));

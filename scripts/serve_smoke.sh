@@ -87,6 +87,11 @@ grep -q '^method DL$' "$workdir/client.out" || fail "STATS missing method"
 grep -q '^queries 6$' "$workdir/client.out" || fail "STATS missing queries"
 grep -q '^malformed 1$' "$workdir/client.out" || fail "STATS missing malformed"
 grep -q '^batches 1$' "$workdir/client.out" || fail "STATS missing batches"
+# Without --prefilter the tier is off and no pf_ counters are exported.
+grep -q '^prefilter 0$' "$workdir/client.out" \
+  || fail "STATS missing prefilter 0"
+! grep -q '^pf_' "$workdir/client.out" \
+  || fail "unfiltered server exported pf_ counters"
 kill -0 "$server_pid" 2>/dev/null || fail "server died on malformed input"
 
 # Graceful drain: SHUTDOWN answers BYE and the server exits 0.
@@ -211,6 +216,53 @@ server_status=0
 wait "$server_pid" || server_status=$?
 server_pid=""
 [ "$server_status" -eq 0 ] || fail "swap server exit code $server_status"
+
+# Prefilter path: the same graph behind --prefilter must serve answers
+# byte-identical to the unfiltered server, and STATS must show the tier on
+# with per-stage hit counters that account for every query.
+"$SERVE" "$workdir/graph.txt" --method=DL --threads=1 --workers=2 \
+  --prefilter > "$workdir/pf.out" 2> "$workdir/pf.err" &
+server_pid=$!
+port_pf=""
+for _ in $(seq 1 100); do
+  port_pf=$(awk '/^LISTENING /{print $2}' "$workdir/pf.out" 2>/dev/null)
+  [ -n "$port_pf" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "prefilter server exited early"
+  sleep 0.1
+done
+[ -n "$port_pf" ] || fail "prefilter server: no LISTENING line within 10s"
+grep -q '^prefilter tier enabled (DL+pf)$' "$workdir/pf.err" \
+  || fail "prefilter server did not announce the tier"
+printf '%s\n' "$batch_queries" \
+  | "$CLIENT" --port="$port_pf" --stats > "$workdir/pf_client.out" \
+  || fail "prefilter-leg client exited non-zero"
+if ! cmp -s <(head -6 "$workdir/pf_client.out") "$workdir/save_answers.out"
+then
+  fail "prefilter batch answers differ from unfiltered answers"
+fi
+# The method line stays the configured base method (snapshot headers key
+# on it); the tier shows up as the prefilter flag plus the startup log.
+grep -q '^method DL$' "$workdir/pf_client.out" \
+  || fail "STATS missing method"
+grep -q '^prefilter 1$' "$workdir/pf_client.out" \
+  || fail "STATS missing prefilter 1"
+for counter in pf_interval_yes pf_interval_no pf_support_yes pf_support_no \
+               pf_level_no pf_fallback; do
+  grep -q "^$counter " "$workdir/pf_client.out" \
+    || fail "STATS missing $counter"
+done
+# Five of the six queries reach the oracle tier; the reflexive pair (2,2)
+# is answered by the same-SCC check in front of it.
+pf_total=$(awk '/^pf_/{sum += $2} END{print sum}' "$workdir/pf_client.out")
+[ "$pf_total" = "5" ] \
+  || fail "pf_ counters sum to $pf_total, expected 5 (one per oracle query)"
+bye=$("$CLIENT" --port="$port_pf" --shutdown < /dev/null) \
+  || fail "prefilter-leg shutdown client exited non-zero"
+[ "$bye" = "BYE" ] || fail "prefilter leg: expected BYE, got '$bye'"
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+[ "$server_status" -eq 0 ] || fail "prefilter server exit code $server_status"
 
 # Signal path: SIGTERM on an idle server (no client ever connected) must
 # drain and exit 0 — regression for a signal-initiated drain that never

@@ -23,6 +23,7 @@ Status ReachabilityOracle::Build(const Digraph& dag,
     build_stats_.budget_exceeded = status.IsResourceExhausted();
     build_stats_.failure_reason = status.message();
   }
+  AnnotateBuildStats(build_stats_);
   return status;
 }
 
@@ -40,6 +41,7 @@ Status ReachabilityOracle::Load(const Digraph& dag, std::istream& in) {
   } else {
     build_stats_.failure_reason = status.message();
   }
+  AnnotateBuildStats(build_stats_);
   return status;
 }
 

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "baselines/factory.h"
+#include "core/prefilter.h"
 #include "server/snapshot.h"
 #include "util/thread_pool.h"
 
@@ -63,6 +64,10 @@ Status ReachServer::Start(const Digraph& graph,
     return Status::InvalidArgument("unknown oracle '" + options.method +
                                    "'");
   }
+  if (options.prefilter) {
+    oracle = std::make_unique<PrefilterOracle>(std::move(oracle));
+  }
+  prefilter_ = options.prefilter;
   oracle->set_budget(options.budget);
   if (!options.save_index_path.empty() &&
       !options.load_index_path.empty()) {
@@ -355,6 +360,11 @@ Status ReachServer::ReloadFromSnapshot(const std::string& path) {
         "method '" + context_.method +
         "' does not support index snapshots (snapshot-capable: DL, HL, TF, "
         "2HOP)");
+  }
+  // A prefilter server snapshots (and therefore reloads) the screening
+  // arrays in front of the oracle blob; re-wrap so the formats line up.
+  if (prefilter_) {
+    oracle = std::make_unique<PrefilterOracle>(std::move(oracle));
   }
   std::ifstream snapshot(path, std::ios::binary);
   if (!snapshot) {

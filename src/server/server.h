@@ -75,6 +75,13 @@ struct ServerOptions {
   /// the same method and graph; any mismatch fails Start. Mutually
   /// exclusive with save_index_path.
   std::string load_index_path;
+  /// Wrap the oracle in the O(1) pre-filter tier (core/prefilter.h): most
+  /// queries are answered from flat screening arrays without touching the
+  /// wrapped index, answers are bit-identical either way, and STATS gains
+  /// per-stage hit counters. Snapshots written/loaded by a prefilter
+  /// server carry the screening arrays in front of the oracle blob, so a
+  /// prefilter snapshot requires a prefilter server (and vice versa).
+  bool prefilter = false;
   ProtocolLimits limits;
 };
 
@@ -153,6 +160,7 @@ class ReachServer {
   const Digraph* graph_ = nullptr;  // Caller-owned; outlives the server.
   std::mutex swap_mu_;      // Serializes RELOAD/SAVE snapshot I/O so at
                             // most one candidate index is in flight.
+  bool prefilter_ = false;  // RELOAD re-wraps its fresh oracle to match.
   std::mutex query_mutex_;  // Used only when the oracle is not
                             // concurrent-query-safe (context_.query_mutex).
 

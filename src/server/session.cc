@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/prefilter.h"
+
 namespace reach {
 namespace server {
 
@@ -225,6 +227,21 @@ void Session::AppendStats(std::string* out) const {
   AppendKeyValue(out, "index_integers", build.index_integers);
   AppendKeyValue(out, "index_bytes", build.index_bytes);
   AppendKeyValue(out, "threads", static_cast<uint64_t>(build.threads));
+  // Pre-filter tier hit counters, live (not the build-time snapshot):
+  // clients watching a negative-heavy workload should see the NO-stage
+  // counters climb without a STATS round-trip lag.
+  const auto* prefilter =
+      dynamic_cast<const PrefilterOracle*>(&index->oracle());
+  AppendKeyValue(out, "prefilter", prefilter != nullptr ? 1 : 0);
+  if (prefilter != nullptr) {
+    const PrefilterStageCounters counters = prefilter->counters();
+    AppendKeyValue(out, "pf_interval_yes", counters.interval_yes);
+    AppendKeyValue(out, "pf_interval_no", counters.interval_no);
+    AppendKeyValue(out, "pf_support_yes", counters.support_yes);
+    AppendKeyValue(out, "pf_support_no", counters.support_no);
+    AppendKeyValue(out, "pf_level_no", counters.level_no);
+    AppendKeyValue(out, "pf_fallback", counters.fallback);
+  }
   AppendKeyValue(out, "connections",
                  stats.connections.load(std::memory_order_relaxed));
   AppendKeyValue(out, "queries",

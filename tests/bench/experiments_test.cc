@@ -21,8 +21,8 @@ TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
   const char* expected[] = {"table1", "table2", "table3", "table4",
                             "table5", "table6", "table7", "fig3",
                             "fig4",   "serve_quick", "query_quick",
-                            "query_grouped_quick"};
-  EXPECT_EQ(counts.size(), 12u);
+                            "query_grouped_quick", "prefilter_quick"};
+  EXPECT_EQ(counts.size(), 13u);
   for (const char* id : expected) {
     EXPECT_EQ(counts[id], 1) << id;
   }
@@ -33,7 +33,8 @@ TEST(ExperimentRegistryTest, IdsInPaperOrder) {
             (std::vector<std::string>{"table1", "table2", "table3", "table4",
                                       "table5", "table6", "table7", "fig3",
                                       "fig4", "serve_quick", "query_quick",
-                                      "query_grouped_quick"}));
+                                      "query_grouped_quick",
+                                      "prefilter_quick"}));
 }
 
 TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
@@ -55,6 +56,13 @@ TEST(ExperimentRegistryTest, SpecShapesAreConsistent) {
     EXPECT_FALSE(spec.title.empty()) << spec.id;
     EXPECT_FALSE(spec.shape_note.empty()) << spec.id;
     if (spec.kind == ExperimentKind::kInventory) {
+      continue;
+    }
+    if (spec.kind == ExperimentKind::kPrefilter) {
+      // The prefilter experiment generates its own per-mix workloads, so
+      // the spec carries no WorkloadKind despite its query metric.
+      EXPECT_EQ(spec.workload, WorkloadKind::kNone) << spec.id;
+      EXPECT_FALSE(DatasetsFor(spec).empty()) << spec.id;
       continue;
     }
     // Query-driven experiments need a workload; the others must not have
@@ -167,6 +175,22 @@ TEST(ExperimentRegistryTest, QueryQuickShape) {
   // The ungrouped cell must really be ungrouped — the grouped variant is a
   // separate id so the baseline JSON keeps both numbers.
   EXPECT_FALSE(spec->group_queries_by_source);
+}
+
+TEST(ExperimentRegistryTest, PrefilterQuickShape) {
+  const auto spec = FindExperiment("prefilter_quick");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, ExperimentKind::kPrefilter);
+  EXPECT_EQ(spec->metric, Metric::kQueryNanos);
+  EXPECT_FALSE(spec->large);
+  // Same rows as query_quick: the three biggest small-tier graphs, where
+  // per-query deltas are measurable. Columns are the two paper labelings;
+  // the runner adds a "+pf" column per method.
+  EXPECT_EQ(spec->dataset_subset,
+            (std::vector<std::string>{"arxiv", "human", "p2p"}));
+  EXPECT_EQ(spec->default_methods, (std::vector<std::string>{"DL", "HL"}));
+  ASSERT_EQ(DatasetsFor(*spec).size(), 3u);
+  EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
 }
 
 TEST(ExperimentRegistryTest, QueryGroupedQuickMirrorsQueryQuick) {

@@ -13,8 +13,10 @@
 #include "core/distribution_labeling.h"
 #include "core/dynamic_labeling.h"
 #include "core/hierarchical_labeling.h"
+#include "core/prefilter.h"
 #include "graph/generators.h"
 #include "graph/topology.h"
+#include "query/workload.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -170,6 +172,84 @@ TEST_P(DifferentialFuzzTest, SealedStoreAnswersInvariantToSimdSwitch) {
           ASSERT_EQ(with_simd, without_simd)
               << name << " family " << GraphFamilyName(c.family) << " seed "
               << seed << " pair (" << u << "," << v << ")";
+        }
+      }
+    }
+  }
+}
+
+// The pre-filter tier must be answer-invisible: PrefilterOracle(X) and a
+// bare X built from the same options agree on the FULL query matrix for
+// every labeling oracle, at 1 and 4 construction threads, with the runtime
+// SIMD switch in both positions (the fallback path runs the same
+// intersection kernels the bare oracle does). A mix-workload verification
+// rides along so the three bench query mixes are exercised end to end.
+TEST_P(DifferentialFuzzTest, PrefilterWrappedMatchesBareOracle) {
+  const uint64_t seed = GetParam();
+  enum OracleKind { kDl, kHl, kTf, kTwoHop, kDlDyn, kNumOracleKinds };
+  const auto make = [](int kind) -> std::unique_ptr<ReachabilityOracle> {
+    switch (kind) {
+      case kDl:
+        return std::make_unique<DistributionLabelingOracle>();
+      case kHl:
+        return std::make_unique<HierarchicalLabelingOracle>();
+      case kTf:
+        return std::make_unique<HierarchicalLabelingOracle>(
+            HierarchicalLabelingOracle::TfLabelOptions());
+      case kTwoHop:
+        return std::make_unique<TwoHopOracle>();
+      default:
+        return std::make_unique<DynamicDistributionLabeling>();
+    }
+  };
+  const char* kind_names[] = {"DL", "HL", "TF", "2HOP", "DL+dyn"};
+  const FuzzCase cases[] = {
+      {GraphFamily::kSparseRandom, 85, 220},
+      {GraphFamily::kStarForest, 90, 90},
+      {GraphFamily::kDenseLayers, 70, 420},
+  };
+  for (const FuzzCase& c : cases) {
+    Digraph g = GenerateFamily(c.family, c.vertices, c.edges, seed * 523);
+    ASSERT_TRUE(IsDag(g)) << GraphFamilyName(c.family);
+    const size_t n = g.num_vertices();
+    for (const int threads : {1, 4}) {
+      BuildOptions options;
+      options.threads = threads;
+      for (int kind = 0; kind < kNumOracleKinds; ++kind) {
+        std::unique_ptr<ReachabilityOracle> bare = make(kind);
+        PrefilterOracle wrapped(make(kind));
+        ASSERT_TRUE(bare->Build(g, options).ok())
+            << kind_names[kind] << " seed " << seed << " threads " << threads;
+        ASSERT_TRUE(wrapped.Build(g, options).ok())
+            << kind_names[kind] << " seed " << seed << " threads " << threads;
+        for (const bool simd : {true, false}) {
+          SetSimdEnabled(simd);
+          for (Vertex u = 0; u < n; ++u) {
+            for (Vertex v = 0; v < n; ++v) {
+              ASSERT_EQ(wrapped.Reachable(u, v), bare->Reachable(u, v))
+                  << kind_names[kind] << " family "
+                  << GraphFamilyName(c.family) << " seed " << seed
+                  << " threads " << threads << " simd " << simd << " pair ("
+                  << u << "," << v << ")";
+            }
+          }
+        }
+        SetSimdEnabled(true);
+        // Every query of the three bench mixes verifies against the
+        // wrapped oracle too (same ground truth, shuffled class ratios).
+        if (kind == kDl && threads == 1) {
+          WorkloadOptions wopts;
+          wopts.num_queries = 300;
+          wopts.seed = seed * 31;
+          for (const QueryMix mix : {QueryMix::kNegativeHeavy,
+                                     QueryMix::kMixed,
+                                     QueryMix::kPositiveHeavy}) {
+            const Workload w = MakeMixWorkload(g, *bare, wopts, mix);
+            Query mismatch{0, 0, false};
+            EXPECT_TRUE(VerifyWorkload(wrapped, w, &mismatch))
+                << QueryMixName(mix) << " seed " << seed << " pair ("
+                << mismatch.from << "," << mismatch.to << ")";
+          }
         }
       }
     }

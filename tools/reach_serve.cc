@@ -4,7 +4,7 @@
 // client sends SHUTDOWN (or SIGINT/SIGTERM).
 //
 //   reach_serve GRAPH [--method=DL] [--threads=N] [--port=0]
-//               [--workers=4] [--max-batch=N]
+//               [--workers=4] [--max-batch=N] [--prefilter]
 //               [--save-index=PATH] [--load-index=PATH]
 //
 // On success the tool prints "LISTENING <port>" on stdout (scripts parse
@@ -62,6 +62,9 @@ void Usage(std::FILE* out) {
       "                 bound port is printed as 'LISTENING <port>')\n"
       "  --workers=N    concurrent client connections served (default 4)\n"
       "  --max-batch=N  largest accepted BATCH count (default %llu)\n"
+      "  --prefilter    wrap the oracle in the O(1) pre-filter tier\n"
+      "                 (answers unchanged; STATS gains pf_* hit counters;\n"
+      "                 snapshots carry the screening arrays)\n"
       "  --save-index=PATH  write the built index snapshot to PATH\n"
       "                 (atomic publish: tmp + rename)\n"
       "  --load-index=PATH  restore the index from PATH instead of\n"
@@ -133,6 +136,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.limits.max_batch = value;
+    } else if (arg == "--prefilter") {
+      options.prefilter = true;
     } else if (arg.rfind("--save-index=", 0) == 0) {
       options.save_index_path = arg.substr(13);
       if (options.save_index_path.empty()) {
@@ -199,6 +204,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "index snapshot saved to %s\n",
                    options.save_index_path.c_str());
     }
+  }
+  if (options.prefilter) {
+    std::fprintf(stderr, "prefilter tier enabled (%s)\n",
+                 reach_server.index()->oracle().name().c_str());
   }
   // Handlers must be live before the readiness line: a supervisor that
   // signals the moment it sees LISTENING would otherwise race the default
