@@ -1,0 +1,206 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the util/sync.h thread-safety annotations.
+#
+# The clang CI leg proves the ANNOTATED code is clean under
+# -Werror=thread-safety; this script proves the annotations BITE: it
+# compiles a set of seeded lock-misuse snippets against util/sync.h and
+# asserts that every one of them FAILS to compile, plus one well-locked
+# positive control that must succeed. If the misuse snippets ever start
+# compiling, the analysis has been silently disabled (macro rot, a flag
+# dropped, a clang regression) and this test fails loudly.
+#
+# Requires a clang++ with -Wthread-safety (any clang that has the
+# `capability` attribute). On hosts without one (e.g. a gcc-only
+# container) the script exits 77, which the CTest registration maps to
+# SKIPPED via SKIP_RETURN_CODE — dynamic TSan coverage still runs there.
+#
+# Usage: scripts/check_thread_safety.sh [path-to-clang++]
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SRC="$ROOT/src"
+
+# --- Locate a clang++ -------------------------------------------------------
+CLANGXX="${1:-}"
+if [ -z "$CLANGXX" ]; then
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANGXX="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANGXX" ] || ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ found; thread-safety analysis needs clang" >&2
+  exit 77
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+CXXFLAGS=(-std=c++20 -fsyntax-only -I "$SRC" -Wthread-safety
+          -Werror=thread-safety)
+
+compile() {
+  "$CLANGXX" "${CXXFLAGS[@]}" "$1" >"$WORKDIR/out.log" 2>&1
+}
+
+# --- Positive control -------------------------------------------------------
+# Exercises every annotation the misuse snippets violate, correctly. Must
+# compile clean; also proves this clang actually runs the analysis (a clang
+# too old for `capability` attributes fails here and we skip).
+cat >"$WORKDIR/control.cc" <<'EOF'
+#include "util/sync.h"
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    reach::MutexLock lock(mu_);
+    ++value_;
+  }
+  int Read() EXCLUDES(mu_) {
+    reach::MutexLock lock(mu_);
+    return value_;
+  }
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+  void LockedCall() EXCLUDES(mu_) {
+    reach::MutexLock lock(mu_);
+    IncrementLocked();
+    while (value_ < 0) cv_.Wait(mu_);
+  }
+
+ private:
+  reach::Mutex mu_;
+  reach::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.LockedCall();
+  return c.Read();
+}
+EOF
+if ! compile "$WORKDIR/control.cc"; then
+  if grep -qi "unknown attribute\|attribute.*ignored" "$WORKDIR/out.log"; then
+    echo "SKIP: $CLANGXX does not implement capability attributes" >&2
+    exit 77
+  fi
+  echo "FAIL: positive control did not compile under $CLANGXX:" >&2
+  cat "$WORKDIR/out.log" >&2
+  exit 1
+fi
+
+fail=0
+
+# expect_rejected <name> <file>: the snippet must NOT compile.
+expect_rejected() {
+  local name="$1" file="$2"
+  if compile "$file"; then
+    echo "FAIL: seeded misuse '$name' COMPILED — annotations are not biting" >&2
+    fail=1
+  else
+    echo "ok: '$name' rejected ($(grep -c "error:" "$WORKDIR/out.log") errors)"
+  fi
+}
+
+# --- Misuse 1: touch a GUARDED_BY field without holding the lock -----------
+cat >"$WORKDIR/misuse_unguarded_access.cc" <<'EOF'
+#include "util/sync.h"
+
+struct Stats {
+  reach::Mutex mu;
+  long hits GUARDED_BY(mu) = 0;
+};
+
+long ReadWithoutLock(Stats& s) {
+  return s.hits;  // error: reading requires holding s.mu
+}
+EOF
+expect_rejected "guarded field touched without lock" \
+  "$WORKDIR/misuse_unguarded_access.cc"
+
+# --- Misuse 2: return while still holding a manual acquisition --------------
+# (the lock is taken, never released, and the function does not declare
+# ACQUIRE — the leak the RAII MutexLock exists to make impossible)
+cat >"$WORKDIR/misuse_leaked_lock.cc" <<'EOF'
+#include "util/sync.h"
+
+struct Slot {
+  reach::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int TakeAndLeak(Slot& s) {
+  s.mu.Lock();
+  return s.value;  // error: s.mu still held at end of function
+}
+EOF
+expect_rejected "returning while holding an undeclared acquisition" \
+  "$WORKDIR/misuse_leaked_lock.cc"
+
+# --- Misuse 3: call an EXCLUDES function while holding the mutex ------------
+# (the self-deadlock shape: a public EXCLUDES(mu) entry point re-entered
+# from a section that already holds mu)
+cat >"$WORKDIR/misuse_excludes_reentry.cc" <<'EOF'
+#include "util/sync.h"
+
+class Server {
+ public:
+  void Drain() EXCLUDES(mu_) {
+    reach::MutexLock lock(mu_);
+    draining_ = true;
+  }
+  void HandleFatalError() EXCLUDES(mu_) {
+    reach::MutexLock lock(mu_);
+    Drain();  // error: Drain requires mu_ NOT held — self-deadlock
+  }
+
+ private:
+  reach::Mutex mu_;
+  bool draining_ GUARDED_BY(mu_) = false;
+};
+
+int main() {
+  Server s;
+  s.HandleFatalError();
+}
+EOF
+expect_rejected "EXCLUDES function re-entered while mutex held" \
+  "$WORKDIR/misuse_excludes_reentry.cc"
+
+# --- Misuse 4: call a REQUIRES function without the lock --------------------
+cat >"$WORKDIR/misuse_requires_unheld.cc" <<'EOF'
+#include "util/sync.h"
+
+class Pool {
+ public:
+  void SubmitLocked() REQUIRES(mu_) { ++pending_; }
+  void Broken() { SubmitLocked(); }  // error: mu_ not held
+
+ private:
+  reach::Mutex mu_;
+  int pending_ GUARDED_BY(mu_) = 0;
+};
+EOF
+expect_rejected "REQUIRES function called without the lock" \
+  "$WORKDIR/misuse_requires_unheld.cc"
+
+# --- Misuse 5: CondVar::Wait without holding the mutex ----------------------
+cat >"$WORKDIR/misuse_wait_unlocked.cc" <<'EOF'
+#include "util/sync.h"
+
+void WaitWithoutLock(reach::Mutex& mu, reach::CondVar& cv) {
+  cv.Wait(mu);  // error: Wait REQUIRES(mu)
+}
+EOF
+expect_rejected "CondVar::Wait without holding the mutex" \
+  "$WORKDIR/misuse_wait_unlocked.cc"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "thread-safety negative-compile harness: all seeded misuses rejected"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# first-party translation unit in src/ and tools/. Any finding fails the
+# script (WarningsAsErrors: '*'), which is how the clang CI leg gates on
+# it. Usage:
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir only needs a compile_commands.json; one is configured on
+# the fly (tests/benchmarks off — they are not tidy targets) when the
+# given/default dir does not have one. Exits 77 ("skip") when clang-tidy
+# is not installed, so gcc-only hosts can still run the wrapper.
+
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-tidy}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+                   clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+                   clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ] || ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "SKIP: clang-tidy not found" >&2
+  exit 77
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "-- configuring $BUILD_DIR for compile_commands.json"
+  cmake -B "$BUILD_DIR" -S "$ROOT" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DREACH_BUILD_TESTS=OFF \
+        -DREACH_BUILD_BENCHMARKS=OFF \
+        -DREACH_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+# Every first-party TU: the libraries under src/ and the tool mains.
+mapfile -t files < <(find "$ROOT/src" "$ROOT/tools" -name '*.cc' | sort)
+echo "-- clang-tidy ($TIDY) over ${#files[@]} files"
+
+fail=0
+for f in "${files[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "clang-tidy: findings above are errors (WarningsAsErrors: '*')" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"

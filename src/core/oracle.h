@@ -94,7 +94,10 @@ struct BuildStats {
 ///    concurrently from any number of threads. Oracles that answer by
 ///    (partial) traversal over reused scratch (online search, GRAIL,
 ///    SCARAB) return false there; concurrent callers such as the server
-///    serialize their queries behind a mutex.
+///    serialize their queries behind a reach::Mutex (util/sync.h — the
+///    annotated primitive every lock in this library uses, so the
+///    serialization protocol is checked by -Wthread-safety on clang;
+///    the server's instance is ReachServer::query_mutex_).
 class ReachabilityOracle {
  public:
   virtual ~ReachabilityOracle() = default;

@@ -198,7 +198,7 @@ Status ReachServer::Start(const Digraph& graph,
   const int workers = options.workers < 1 ? 1 : options.workers;
   ThreadPool::Shared().EnsureWorkers(static_cast<size_t>(workers) + 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++active_handlers_;  // The accept loop counts as an in-flight task.
   }
   ThreadPool::Shared().Submit([this] { AcceptLoop(); });
@@ -248,7 +248,7 @@ void ReachServer::AcceptLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                  sizeof(send_timeout));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (draining_) {
         ::close(fd);
         continue;
@@ -261,7 +261,7 @@ void ReachServer::AcceptLoop() {
   }
   bool need_drain = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accept_done_ = true;
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -270,7 +270,7 @@ void ReachServer::AcceptLoop() {
     // Notify under the lock: once it is released, Wait() may return and
     // the server (cv_ included) may be destroyed, so the broadcast must
     // already be over by then.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   // The accept loop can end without SHUTDOWN/Stop (listener error, or
   // RequestStopFromSignal); finish the drain on this thread then.
@@ -300,13 +300,13 @@ void ReachServer::HandleConnection(int fd) {
     if (!sent || state == Session::State::kClosed) break;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     session_fds_.erase(fd);
     --active_handlers_;
     // Under the lock for the same reason as the accept loop: the last
     // handler's broadcast must finish before Wait() can observe
     // active_handlers_ == 0 and let the server be destroyed.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   // The close stays after the erase so InitiateDrain can never shutdown()
   // a recycled descriptor; fd is a local, so this touches no member state.
@@ -315,7 +315,7 @@ void ReachServer::HandleConnection(int fd) {
 
 void ReachServer::InitiateDrain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) return;
     draining_ = true;
     // Unblock the accept loop: one byte on the wake pipe ends its poll.
@@ -332,15 +332,18 @@ void ReachServer::InitiateDrain() {
     // (an idle server drained by a signal or a listener failure), so the
     // flag flip must notify by itself — under the lock, so the broadcast
     // is over before Wait() can return and the server be destroyed.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void ReachServer::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] {
-    return draining_ && accept_done_ && active_handlers_ == 0;
-  });
+  MutexLock lock(mu_);
+  // Spelled-out predicate loop: draining_/accept_done_/active_handlers_
+  // are GUARDED_BY(mu_), and the analysis cannot see through a lambda
+  // capture (util/sync.h).
+  while (!(draining_ && accept_done_ && active_handlers_ == 0)) {
+    cv_.Wait(mu_);
+  }
 }
 
 void ReachServer::Stop() {
@@ -353,7 +356,7 @@ Status ReachServer::ReloadFromSnapshot(const std::string& path) {
   // One candidate index at a time: concurrent RELOADs would each pay a
   // full snapshot load only for all but the last publish to be wasted,
   // and the transient memory footprint stays bounded at two indexes.
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(swap_mu_);
   std::unique_ptr<ReachabilityOracle> oracle = MakeOracle(context_.method);
   if (oracle == nullptr || !oracle->SupportsSnapshot()) {
     return Status::InvalidArgument(
@@ -389,7 +392,7 @@ Status ReachServer::ReloadFromSnapshot(const std::string& path) {
 Status ReachServer::SaveLiveIndex(const std::string& path) {
   // The shared_ptr pins the index being saved even if a RELOAD lands
   // mid-write; swap_mu_ keeps two SAVEs from racing on the same tmp file.
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(swap_mu_);
   const std::shared_ptr<const ReachabilityIndex> index =
       index_slot_.Acquire();
   return SaveIndexSnapshot(path, context_.method, context_.graph_vertices,

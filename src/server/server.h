@@ -32,10 +32,8 @@
 #define REACH_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -43,6 +41,7 @@
 #include "graph/digraph.h"
 #include "server/session.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace reach {
 namespace server {
@@ -128,11 +127,11 @@ class ReachServer {
   }
 
   /// Blocks until the server has drained (SHUTDOWN command or Stop()).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Initiates a graceful drain and waits for it to finish. Idempotent;
   /// safe to call even if a client's SHUTDOWN already started the drain.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   /// Async-signal-safe drain trigger: only calls write(2) on a self-pipe
   /// whose descriptor stays valid from Start() until destruction, so a
@@ -143,29 +142,44 @@ class ReachServer {
   void RequestStopFromSignal();
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  void InitiateDrain();
+  void AcceptLoop() EXCLUDES(mu_);
+  void HandleConnection(int fd) EXCLUDES(mu_);
+  void InitiateDrain() EXCLUDES(mu_);
   /// RELOAD: loads + validates the snapshot at `path` and atomically
   /// publishes it; any failure returns without touching the live index.
-  Status ReloadFromSnapshot(const std::string& path);
+  Status ReloadFromSnapshot(const std::string& path) EXCLUDES(swap_mu_);
   /// SAVE: writes the live index snapshot to `path` via the atomic
   /// tmp + rename publish (server/snapshot.h).
-  Status SaveLiveIndex(const std::string& path);
+  Status SaveLiveIndex(const std::string& path) EXCLUDES(swap_mu_);
+
+  // Lock map (see docs/ARCHITECTURE.md, "Lock map & thread-safety
+  // analysis"): three mutexes, no nesting — each critical section touches
+  // exactly one of them, so there is no acquisition order to get wrong.
+  // Everything outside a GUARDED_BY below is either written only during
+  // the single-threaded Start() setup phase and read-only afterwards
+  // (context_, build_stats_, graph_, prefilter_, port_, started_,
+  // loaded_from_snapshot_, wake_rd_), owned by exactly one thread
+  // (listen_fd_: the accept loop after Start), atomic (wake_wr_), or
+  // internally synchronized (stats_: relaxed atomics; index_slot_: its
+  // own mutex).
 
   SessionContext context_;
   ServerStats stats_;
   BuildStats build_stats_;
   IndexSlot index_slot_;    // Live index; swapped by ReloadFromSnapshot.
   const Digraph* graph_ = nullptr;  // Caller-owned; outlives the server.
-  std::mutex swap_mu_;      // Serializes RELOAD/SAVE snapshot I/O so at
+  Mutex swap_mu_;           // Serializes RELOAD/SAVE snapshot I/O so at
                             // most one candidate index is in flight.
   bool prefilter_ = false;  // RELOAD re-wraps its fresh oracle to match.
-  std::mutex query_mutex_;  // Used only when the oracle is not
+  Mutex query_mutex_;       // Used only when the oracle is not
                             // concurrent-query-safe (context_.query_mutex).
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  /// Guards the drain handshake: which sessions are live, whether the
+  /// accept loop still runs, and the drain flag Wait() blocks on.
+  Mutex mu_;
+  CondVar cv_;  // Signals drain progress: draining_ set, a handler done,
+                // or the accept loop exiting. Always notified under mu_
+                // (destruction discipline, util/sync.h).
   // Owned by the accept loop after Start(); nothing else touches it, so a
   // signal handler can never shutdown(2) a recycled descriptor number.
   int listen_fd_ = -1;
@@ -178,10 +192,10 @@ class ReachServer {
   uint16_t port_ = 0;
   bool started_ = false;
   bool loaded_from_snapshot_ = false;
-  bool draining_ = false;
-  bool accept_done_ = false;
-  std::set<int> session_fds_;
-  size_t active_handlers_ = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool accept_done_ GUARDED_BY(mu_) = false;
+  std::set<int> session_fds_ GUARDED_BY(mu_);
+  size_t active_handlers_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

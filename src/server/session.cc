@@ -124,7 +124,7 @@ void Session::FlushBatch(std::string* out) {
     const BatchSlot& slot = batch_slots_[i];
     bool reachable;
     if (context_->query_mutex != nullptr) {
-      std::lock_guard<std::mutex> lock(*context_->query_mutex);
+      MutexLock lock(*context_->query_mutex);
       reachable = index->Reachable(slot.u, slot.v);
     } else {
       reachable = index->Reachable(slot.u, slot.v);
@@ -164,7 +164,7 @@ void Session::AnswerQuery(Vertex u, Vertex v, std::string* out) {
       context_->index->Acquire();
   bool reachable;
   if (context_->query_mutex != nullptr) {
-    std::lock_guard<std::mutex> lock(*context_->query_mutex);
+    MutexLock lock(*context_->query_mutex);
     reachable = index->Reachable(u, v);
   } else {
     reachable = index->Reachable(u, v);

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -19,6 +18,7 @@
 
 #include "core/reachability.h"
 #include "server/protocol.h"
+#include "util/sync.h"
 
 namespace reach {
 namespace server {
@@ -51,25 +51,29 @@ class IndexSlot {
 
   /// The currently published index. Never null once the owning server has
   /// published its first index (before accepting any connection).
-  std::shared_ptr<const ReachabilityIndex> Acquire() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const ReachabilityIndex> Acquire() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return index_;
   }
 
   /// Installs `next` as the live index. The previous index is released
   /// outside the lock so a destructor freeing a multi-GB label store never
   /// blocks readers.
-  void Publish(std::shared_ptr<const ReachabilityIndex> next) {
+  void Publish(std::shared_ptr<const ReachabilityIndex> next) EXCLUDES(mu_) {
     std::shared_ptr<const ReachabilityIndex> old;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       old = std::exchange(index_, std::move(next));
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ReachabilityIndex> index_;
+  /// Guards only the published pointer: Acquire copies it (one uncontended
+  /// acquisition per query), Publish exchanges it. The pointed-to index is
+  /// immutable, so the pointer is the entire shared state. Leaf mutex:
+  /// never held across any other acquisition.
+  mutable Mutex mu_;
+  std::shared_ptr<const ReachabilityIndex> index_ GUARDED_BY(mu_);
 };
 
 /// Everything a session needs from its server, all owned elsewhere and
@@ -86,7 +90,7 @@ struct SessionContext {
   /// Non-null when the oracle's ConcurrentQuerySafe() is false: sessions
   /// then serialize every Reachable() call behind this mutex. RELOAD never
   /// changes the method, so this choice is fixed at Start.
-  std::mutex* query_mutex = nullptr;
+  Mutex* query_mutex = nullptr;
   /// Server hook behind the RELOAD verb: validate the snapshot at `path`
   /// and atomically publish it as the live index. Must return an error
   /// without disturbing the live index on any failure. Null (e.g. in

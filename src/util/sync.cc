@@ -1,0 +1,33 @@
+#include "util/sync.h"
+
+namespace reach {
+
+// The wait implementations adopt the already-held native mutex into a
+// std::unique_lock (the only handle std::condition_variable accepts),
+// wait, then release the unique_lock WITHOUT unlocking — the caller's
+// MutexLock (or explicit Lock) still owns the acquisition, matching the
+// REQUIRES(mu) annotation: held on entry, held on exit.
+
+void CondVar::Wait(Mutex& mu) {
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(native, deadline);
+  native.release();
+  return status == std::cv_status::no_timeout;
+}
+
+bool CondVar::WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) {
+  return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace reach

@@ -14,29 +14,38 @@ namespace reach {
 ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
 
 ThreadPool::~ThreadPool() {
+  // The worker set is moved out under the lock (workers_ is GUARDED_BY
+  // mu_), then joined without it: join() blocks until the worker exits its
+  // loop, and a worker about to re-check the queue needs mu_ to do so.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers = std::move(workers_);
+    // Notify under the lock: a worker between its predicate check and its
+    // wait either holds mu_ (so the broadcast lands after it parks) or is
+    // already parked — no wakeup can be lost, and the broadcast is over
+    // before this destructor can free cv_.
+    cv_.NotifyAll();
   }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers) worker.join();
 }
 
 size_t ThreadPool::num_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::EnsureWorkers(size_t num_workers) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (workers_.size() < num_workers) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -46,8 +55,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Spelled-out predicate loop (not CondVar::Wait(mu, pred)): the
+      // analysis cannot see through lambda captures, and stop_/queue_ are
+      // GUARDED_BY(mu_) — see util/sync.h.
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -103,12 +115,12 @@ struct ChunkRun {
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t pending_helpers = 0;
-  std::exception_ptr first_exception;
+  Mutex mu;
+  CondVar done_cv;  // Signals pending_helpers reaching zero.
+  size_t pending_helpers GUARDED_BY(mu) = 0;
+  std::exception_ptr first_exception GUARDED_BY(mu);
 
-  void RunChunksAs(size_t worker) {
+  void RunChunksAs(size_t worker) EXCLUDES(mu) {
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       const size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
@@ -121,7 +133,7 @@ struct ChunkRun {
       try {
         (*fn)(info);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!first_exception) first_exception = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -178,8 +190,10 @@ void ParallelChunksImpl(size_t begin, size_t end, size_t grain, int threads,
       in_parallel_region = true;
       run->RunChunksAs(helper);
       in_parallel_region = false;
-      std::lock_guard<std::mutex> lock(run->mu);
-      if (--run->pending_helpers == 0) run->done_cv.notify_all();
+      // Notify under the lock: the caller's wait below may be the last
+      // reference keeping `run` alive once it observes zero.
+      MutexLock lock(run->mu);
+      if (--run->pending_helpers == 0) run->done_cv.NotifyAll();
     });
   }
 
@@ -187,8 +201,8 @@ void ParallelChunksImpl(size_t begin, size_t end, size_t grain, int threads,
   run->RunChunksAs(0);
   in_parallel_region = false;
 
-  std::unique_lock<std::mutex> lock(run->mu);
-  run->done_cv.wait(lock, [&run] { return run->pending_helpers == 0; });
+  MutexLock lock(run->mu);
+  while (run->pending_helpers != 0) run->done_cv.Wait(run->mu);
   if (run->first_exception) std::rethrow_exception(run->first_exception);
 }
 

@@ -11,14 +11,14 @@
 #ifndef REACH_UTIL_THREAD_POOL_H_
 #define REACH_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace reach {
 
@@ -51,28 +51,32 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_workers() const;
+  size_t num_workers() const EXCLUDES(mu_);
 
   /// Enqueues `task` for execution on some worker. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Grows the worker set to at least `num_workers` (never shrinks). Lets
   /// the shared pool start at zero threads and only pay for what the
   /// requested --threads values actually need.
-  void EnsureWorkers(size_t num_workers);
+  void EnsureWorkers(size_t num_workers) EXCLUDES(mu_);
 
   /// The process-wide pool used by ParallelChunks/ParallelFor. Starts with
   /// zero workers; grows on demand. Created on first use, joined at exit.
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  /// One lock for the whole pool: queue contents, the stop flag, and the
+  /// worker set all change together (Submit vs stop vs grow), so splitting
+  /// them would only invite lock-order questions. Leaf mutex: nothing is
+  /// acquired while it is held (tasks run after it is released).
+  mutable Mutex mu_;
+  CondVar cv_;  // Signals: queue_ non-empty, or stop_ flipped.
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 /// std::thread::hardware_concurrency(), but never 0.

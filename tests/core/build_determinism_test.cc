@@ -83,8 +83,9 @@ TEST_P(BuildDeterminismTest, StatsAndAnswersAreThreadCountInvariant) {
 INSTANTIATE_TEST_SUITE_P(
     AllOracles, BuildDeterminismTest,
     ::testing::ValuesIn(AllOracleNames()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;  // "GL*" etc. are not valid test names.
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      // "GL*" etc. are not valid test names.
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '*') c = 'x';
       }

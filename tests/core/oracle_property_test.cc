@@ -51,9 +51,11 @@ INSTANTIATE_TEST_SUITE_P(
     AllOraclesAllGraphs, OracleCompletenessTest,
     ::testing::Combine(::testing::ValuesIn(SweepOracleNames()),
                        ::testing::ValuesIn(SweepCaseIndices())),
-    [](const ::testing::TestParamInfo<std::tuple<std::string, size_t>>& info) {
-      std::string name = std::get<0>(info.param) + "_" +
-                         SmallPropertyGraphs()[std::get<1>(info.param)].label;
+    [](const ::testing::TestParamInfo<std::tuple<std::string, size_t>>&
+           param_info) {
+      std::string name =
+          std::get<0>(param_info.param) + "_" +
+          SmallPropertyGraphs()[std::get<1>(param_info.param)].label;
       for (char& ch : name) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }
@@ -81,8 +83,8 @@ INSTANTIATE_TEST_SUITE_P(
     ScalableOracles, OracleMediumTest,
     ::testing::Values("DL", "HL", "TF", "GL", "GL*", "PT", "PT*", "INT",
                       "PW8", "PL", "BFS", "BiBFS", "DFS"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& ch : name) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }

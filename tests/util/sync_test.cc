@@ -1,0 +1,248 @@
+// Unit coverage for the annotated concurrency primitives (util/sync.h):
+// mutual exclusion, try-lock semantics, scoped locking, condition-variable
+// waits (bare, predicate, timed) and the notify-under-lock drain handshake
+// the server is built on. The suite runs in the ASan/UBSan and TSan CI
+// legs, so every pattern here is exercised under both sanitizer families;
+// the *static* side of the contract (annotations rejecting misuse at
+// compile time) is covered by scripts/check_thread_safety.sh.
+
+#include "util/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace reach {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  mu.Lock();  // Usable again after a release.
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockSucceedsWhenFree) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  bool acquired = true;
+  // TryLock from another thread: same-thread try_lock on a held
+  // std::mutex is UB, cross-thread is the defined (and relevant) case.
+  std::thread prober([&] { acquired = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  std::thread prober2([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  prober2.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  // The classic data-race litmus: N threads x M unprotected increments
+  // would lose updates (and TSan would flag it); under the Mutex the total
+  // is exact. This is the test that gives the TSan CI leg a pure-sync.h
+  // surface to chew on.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  Mutex mu;
+  int64_t counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(MutexLockTest, ReleasesAtScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+  }
+  // If the scope above leaked the acquisition this would deadlock (caught
+  // by the test timeout rather than hanging forever in CI).
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitWithPredicateSeesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    // Notify under the lock — the discipline every notify site in the
+    // library follows (util/sync.h, "Notify discipline").
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 4;
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&] { return go; });
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : waiters) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitForTimesOutWhenNeverNotified) {
+  Mutex mu;
+  CondVar cv;
+  const steady_clock::time_point start = steady_clock::now();
+  MutexLock lock(mu);
+  const bool notified = cv.WaitFor(mu, milliseconds(20));
+  EXPECT_FALSE(notified);
+  EXPECT_GE(steady_clock::now() - start, milliseconds(20));
+}
+
+TEST(CondVarTest, PredicateWaitForReturnsFalseOnTimeout) {
+  Mutex mu;
+  CondVar cv;
+  bool never = false;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, milliseconds(20), [&] { return never; }));
+}
+
+TEST(CondVarTest, PredicateWaitForReturnsTrueWhenNotifiedInTime) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  bool observed;
+  {
+    MutexLock lock(mu);
+    // Generous timeout: the producer only needs the lock once; the bound
+    // exists so a lost-wakeup bug fails the test instead of hanging it.
+    observed = cv.WaitFor(mu, std::chrono::seconds(30), [&] { return ready; });
+  }
+  producer.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, WaitUntilHonorsDeadline) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitUntil(mu, steady_clock::now() + milliseconds(10)));
+}
+
+TEST(CondVarTest, DrainHandshakeMirrorsServerWait) {
+  // Shape of ReachServer::Wait()/InitiateDrain()/HandleConnection(): a
+  // waiter blocks on (draining && active == 0), handlers decrement under
+  // the lock and notify, the drain trigger flips the flag under the lock
+  // and notifies — covering the PR 6 regression class where a
+  // notify-after-unlock let the waiter destroy the CondVar mid-broadcast.
+  constexpr int kHandlers = 6;
+  Mutex mu;
+  CondVar cv;
+  bool draining = false;
+  int active = kHandlers;
+  std::vector<std::thread> handlers;
+  handlers.reserve(kHandlers);
+  for (int t = 0; t < kHandlers; ++t) {
+    handlers.emplace_back([&] {
+      MutexLock lock(mu);
+      --active;
+      cv.NotifyAll();
+    });
+  }
+  std::thread drainer([&] {
+    MutexLock lock(mu);
+    draining = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(mu);
+    while (!(draining && active == 0)) cv.Wait(mu);
+    EXPECT_TRUE(draining);
+    EXPECT_EQ(active, 0);
+  }
+  for (std::thread& t : handlers) t.join();
+  drainer.join();
+}
+
+TEST(CondVarTest, ProducerConsumerHandoff) {
+  // A bounded handoff through a guarded slot: the pattern ThreadPool's
+  // queue uses, reduced to one element so every iteration exercises both
+  // wait directions (consumer waits for full, producer waits for empty).
+  constexpr int kItems = 500;
+  Mutex mu;
+  CondVar cv;
+  bool full = false;
+  int slot = 0;
+  int64_t consumed_sum = 0;
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(mu);
+      while (!full) cv.Wait(mu);
+      consumed_sum += slot;
+      full = false;
+      cv.NotifyAll();
+    }
+  });
+  int64_t produced_sum = 0;
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(mu);
+    while (full) cv.Wait(mu);
+    slot = i;
+    produced_sum += i;
+    full = true;
+    cv.NotifyAll();
+  }
+  consumer.join();
+  EXPECT_EQ(consumed_sum, produced_sum);
+}
+
+}  // namespace
+}  // namespace reach

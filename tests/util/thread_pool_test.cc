@@ -51,10 +51,10 @@ TEST(ParallelForTest, SingleThreadRunsInAscendingOrder) {
 }
 
 TEST(ParallelChunksTest, ChunksPartitionTheRange) {
-  std::mutex mu;
+  Mutex mu;
   std::vector<ChunkInfo> chunks;
   ParallelChunks(5, 47, 10, 4, [&](const ChunkInfo& chunk) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     chunks.push_back(chunk);
   });
   std::sort(chunks.begin(), chunks.end(),
@@ -145,20 +145,20 @@ TEST(ThreadPoolTest, GrowsButNeverShrinks) {
 
 TEST(ThreadPoolTest, SubmittedTasksAllRun) {
   std::atomic<int> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   {
     ThreadPool pool(3);
     for (int i = 0; i < 100; ++i) {
       pool.Submit([&] {
         if (done.fetch_add(1) + 1 == 100) {
-          std::lock_guard<std::mutex> lock(mu);
-          cv.notify_all();
+          MutexLock lock(mu);
+          cv.NotifyAll();
         }
       });
     }
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done.load() == 100; });
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return done.load() == 100; });
   }  // Destructor joins cleanly with an empty queue.
   EXPECT_EQ(done.load(), 100);
 }
