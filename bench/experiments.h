@@ -80,6 +80,9 @@ enum class ExperimentKind {
   kServe,      // datasets x methods measured through a loopback server.
   kPrefilter,  // (dataset x query mix) rows; every method bare vs wrapped
                // in the O(1) pre-filter tier, with per-mix hit rates.
+  kLoad,       // Cold snapshot-load wall time on the xl tier: per method,
+               // an owned-read column vs an mmap column, with the load's
+               // resident-set growth in the note.
 };
 
 /// One paper table/figure: what it runs and what the paper says it shows.
@@ -124,7 +127,8 @@ StatusOr<ExperimentSpec> FindExperiment(const std::string& id);
 BenchConfig DefaultConfigFor(const ExperimentSpec& spec);
 
 /// The dataset rows of the experiment (before --datasets filtering): the
-/// spec's tier, narrowed to dataset_subset when the spec names one.
+/// spec's tier (kLoad experiments draw from the xl tier), narrowed to
+/// dataset_subset when the spec names one.
 std::vector<DatasetSpec> DatasetsFor(const ExperimentSpec& spec);
 
 /// True when the experiment has a row for `dataset` (the inventory spans

@@ -35,6 +35,7 @@ std::vector<std::string> KnownDatasetNames() {
   std::vector<std::string> names;
   for (const DatasetSpec& spec : SmallDatasets()) names.push_back(spec.name);
   for (const DatasetSpec& spec : LargeDatasets()) names.push_back(spec.name);
+  for (const DatasetSpec& spec : XlDatasets()) names.push_back(spec.name);
   return names;
 }
 
@@ -106,6 +107,8 @@ std::string MetricName(Metric metric) {
       return "index_integers";
     case Metric::kServeQps:
       return "serve_qps";
+    case Metric::kLoadMillis:
+      return "load_ms";
   }
   return "unknown";
 }

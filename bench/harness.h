@@ -26,6 +26,8 @@ enum class Metric {
   kConstructionMillis,  // Index build wall time.
   kIndexIntegers,       // Stored integers (Figures 3/4).
   kServeQps,            // Batched loopback queries/second (serve_quick).
+  kLoadMillis,          // Cold snapshot-load wall time (load_quick; the
+                        // owned-read vs mmap arms of the load path).
 };
 
 /// Which workload drives kQueryMillis.

@@ -87,6 +87,7 @@ void TextTableReporter::AddRecord(const RunRecord& record) {
       case Metric::kConstructionMillis:
       case Metric::kQueryMillis:
       case Metric::kQueryNanos:
+      case Metric::kLoadMillis:
         std::fprintf(out_, "%12.1f", record.value);
         break;
       case Metric::kServeQps:

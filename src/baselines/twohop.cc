@@ -216,4 +216,13 @@ Status TwoHopOracle::LoadIndex(const Digraph& dag, std::istream& in) {
   return Status::OK();
 }
 
+Status TwoHopOracle::LoadIndexMapped(const Digraph& dag,
+                                     MappedRegion region) {
+  StatusOr<LabelStore> mapped =
+      MapLabelStoreFor(dag, std::move(region), "2HOP");
+  if (!mapped.ok()) return mapped.status();
+  labeling_ = std::move(*mapped);
+  return Status::OK();
+}
+
 }  // namespace reach

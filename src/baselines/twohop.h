@@ -26,6 +26,7 @@ class TwoHopOracle : public ReachabilityOracle {
  protected:
   Status BuildIndex(const Digraph& dag) override;
   Status LoadIndex(const Digraph& dag, std::istream& in) override;
+  Status LoadIndexMapped(const Digraph& dag, MappedRegion region) override;
 
  public:
 
@@ -35,7 +36,9 @@ class TwoHopOracle : public ReachabilityOracle {
 
   /// Snapshots: the whole query state is the sealed labeling blob, so a
   /// restart can skip the TC materialization + set-cover greedy entirely.
+  /// LoadMapped serves the blob in place.
   bool SupportsSnapshot() const override { return true; }
+  bool SupportsMappedSnapshot() const override { return true; }
   Status SaveIndex(std::ostream& out) const override {
     return labeling_.Write(out);
   }

@@ -145,4 +145,13 @@ Status DistributionLabelingOracle::LoadIndex(const Digraph& dag,
   return Status::OK();
 }
 
+Status DistributionLabelingOracle::LoadIndexMapped(const Digraph& dag,
+                                                   MappedRegion region) {
+  StatusOr<LabelStore> mapped = MapLabelStoreFor(dag, std::move(region), "DL");
+  if (!mapped.ok()) return mapped.status();
+  labeling_ = std::move(*mapped);
+  order_.clear();  // Construction metadata; not part of the snapshot.
+  return Status::OK();
+}
+
 }  // namespace reach

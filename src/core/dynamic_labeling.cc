@@ -36,6 +36,21 @@ Status DynamicDistributionLabeling::LoadIndex(const Digraph& dag,
   StatusOr<LabelStore> loaded = ReadLabelStoreFor(dag, in, "DL+dyn");
   if (!loaded.ok()) return loaded.status();
   labeling_ = std::move(*loaded);
+  ResetOverlay(dag);
+  return Status::OK();
+}
+
+Status DynamicDistributionLabeling::LoadIndexMapped(const Digraph& dag,
+                                                    MappedRegion region) {
+  StatusOr<LabelStore> mapped =
+      MapLabelStoreFor(dag, std::move(region), "DL+dyn");
+  if (!mapped.ok()) return mapped.status();
+  labeling_ = std::move(*mapped);
+  ResetOverlay(dag);
+  return Status::OK();
+}
+
+void DynamicDistributionLabeling::ResetOverlay(const Digraph& dag) {
   // Dynamic-overlay state starts fresh over the loaded base graph; the
   // key/order tables are construction metadata a patch never reads.
   base_ = dag;
@@ -46,7 +61,6 @@ Status DynamicDistributionLabeling::LoadIndex(const Digraph& dag,
   epoch_ = 0;
   order_.clear();
   key_of_.clear();
-  return Status::OK();
 }
 
 std::vector<Vertex> DynamicDistributionLabeling::OutNeighbors(Vertex v) const {

@@ -44,6 +44,7 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
  protected:
   Status BuildIndex(const Digraph& dag) override;
   Status LoadIndex(const Digraph& dag, std::istream& in) override;
+  Status LoadIndexMapped(const Digraph& dag, MappedRegion region) override;
 
  public:
 
@@ -59,7 +60,11 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
   /// base graph would answer queries correctly at first (the labels carry
   /// the patches) but compute later InsertEdge patches and Rebuild() over
   /// a graph that is missing the pre-save edges.
+  ///
+  /// LoadMapped serves the labeling straight from the mapping; the first
+  /// InsertEdge unseals, which copies the labels out and releases it.
   bool SupportsSnapshot() const override { return true; }
+  bool SupportsMappedSnapshot() const override { return true; }
   Status SaveIndex(std::ostream& out) const override {
     return labeling_.Write(out);
   }
@@ -88,6 +93,9 @@ class DynamicDistributionLabeling : public ReachabilityOracle {
   // Adjacency including inserted edges (CSR base + dynamic overlay).
   std::vector<Vertex> OutNeighbors(Vertex v) const;
   std::vector<Vertex> InNeighbors(Vertex v) const;
+
+  /// Shared Load/LoadMapped tail: fresh overlay over the new base graph.
+  void ResetOverlay(const Digraph& dag);
 
   DistributionOptions options_;
   Digraph base_;

@@ -237,4 +237,13 @@ Status HierarchicalLabelingOracle::LoadIndex(const Digraph& dag,
   return Status::OK();
 }
 
+Status HierarchicalLabelingOracle::LoadIndexMapped(const Digraph& dag,
+                                                   MappedRegion region) {
+  StatusOr<LabelStore> mapped = MapLabelStoreFor(dag, std::move(region), "HL");
+  if (!mapped.ok()) return mapped.status();
+  labeling_ = std::move(*mapped);
+  hierarchy_.reset();  // Construction metadata; not part of the snapshot.
+  return Status::OK();
+}
+
 }  // namespace reach

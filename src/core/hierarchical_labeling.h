@@ -55,6 +55,7 @@ class HierarchicalLabelingOracle : public ReachabilityOracle {
  protected:
   Status BuildIndex(const Digraph& dag) override;
   Status LoadIndex(const Digraph& dag, std::istream& in) override;
+  Status LoadIndexMapped(const Digraph& dag, MappedRegion region) override;
 
  public:
 
@@ -64,8 +65,10 @@ class HierarchicalLabelingOracle : public ReachabilityOracle {
 
   /// Snapshots: the whole query state is the sealed labeling blob. After
   /// Load (as opposed to Build) hierarchy() is unavailable — the
-  /// decomposition is construction metadata, not query state.
+  /// decomposition is construction metadata, not query state. LoadMapped
+  /// serves the blob in place.
   bool SupportsSnapshot() const override { return true; }
+  bool SupportsMappedSnapshot() const override { return true; }
   Status SaveIndex(std::ostream& out) const override {
     return labeling_.Write(out);
   }

@@ -1,6 +1,7 @@
 #include "core/label_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -9,115 +10,206 @@ namespace reach {
 
 namespace {
 
-// "RLSTORE2": the sealed single-blob format. Version 2 replaced the
-// legacy per-vector HopLabeling dump ("LABEL01"), whose reader resized
-// from unvalidated untrusted size fields.
-constexpr uint64_t kMagic = 0x524c53544f524532ULL;
+// "RLSTORE3": the sealed single-blob format. Version 3 made every section
+// 8-byte aligned relative to the blob start (offsets arrays up front, one
+// keys array per side, zero pads) so a mapped file can be served in place;
+// version 2 interleaved per-row counts with keys and was parse-only.
+// Version 2 replaced the legacy per-vector HopLabeling dump ("LABEL01"),
+// whose reader resized from unvalidated untrusted size fields.
+constexpr uint64_t kMagic = 0x524c53544f524533ULL;
 
-// Keys of a hostile blob are read in bounded slices so a forged count
+// Fixed header: magic, n, total_out, total_in.
+constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);
+
+// Sections of a hostile blob are read in bounded slices so a forged count
 // cannot make us allocate its full claimed size before the stream runs
 // dry (same discipline as graph_io's ReadBinary).
 constexpr size_t kKeySliceEntries = 1 << 16;
+constexpr size_t kOffsetSliceEntries = 1 << 13;
 
-Status WriteSide(const LabelStore& store, bool out_side, size_t n,
-                 uint64_t total, std::ostream& out) {
-  out.write(reinterpret_cast<const char*>(&total), sizeof(total));
-  for (Vertex v = 0; v < n; ++v) {
-    const std::span<const uint32_t> label =
-        out_side ? store.Out(v) : store.In(v);
-    const uint32_t count = static_cast<uint32_t>(label.size());
-    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    out.write(reinterpret_cast<const char*>(label.data()),
-              static_cast<std::streamsize>(label.size() * sizeof(uint32_t)));
+// A keys section of `total` u32 entries is zero-padded to the next
+// 8-byte boundary so the section after it stays aligned.
+size_t KeysPadBytes(uint64_t total) {
+  return (total % 2) * sizeof(uint32_t);
+}
+
+// Impossibility bound shared by both readers: labels are strictly
+// ascending keys < n, so a side holds at most n per vertex. Division
+// sidesteps the n * n overflow for n near 2^32.
+bool SideTotalImpossible(uint64_t n, uint64_t total) {
+  return n == 0 ? total != 0 : total / n > n;
+}
+
+Status ReadOffsets(std::istream& in, size_t n, uint64_t total,
+                   const char* side, std::vector<uint64_t>* offsets) {
+  // No n-sized pre-allocation from the untrusted header: the array grows
+  // one bounded slice at a time, so a forged n wastes at most one slice
+  // before the read failure surfaces.
+  offsets->clear();
+  uint64_t prev = 0;
+  std::vector<uint64_t> slice;
+  for (size_t remaining = n + 1; remaining > 0;) {
+    const size_t chunk = std::min(remaining, kOffsetSliceEntries);
+    slice.resize(chunk);
+    in.read(reinterpret_cast<char*>(slice.data()),
+            static_cast<std::streamsize>(chunk * sizeof(uint64_t)));
+    if (!in) {
+      return Status::Corruption("truncated label store " + std::string(side) +
+                                " offsets");
+    }
+    for (const uint64_t off : slice) {
+      if (offsets->empty() ? off != 0 : off < prev) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " offsets not monotone from zero");
+      }
+      if (off > total) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " offset exceeds the declared total");
+      }
+      prev = off;
+      offsets->push_back(off);
+    }
+    remaining -= chunk;
   }
-  if (!out) return Status::IOError("label store write failed");
+  if (offsets->back() != total) {
+    return Status::Corruption("label store " + std::string(side) +
+                              " offsets end at " +
+                              std::to_string(offsets->back()) +
+                              ", header declared " + std::to_string(total));
+  }
   return Status::OK();
 }
 
-Status ReadSide(std::istream& in, size_t n, const char* side,
-                std::vector<uint64_t>* offsets, std::vector<uint32_t>* keys) {
-  uint64_t total = 0;
-  in.read(reinterpret_cast<char*>(&total), sizeof(total));
-  if (!in) return Status::Corruption("truncated label store header");
-  // Labels are strictly-ascending keys < n, so a vertex holds at most n of
-  // them and a side at most n * n. Division sidesteps the n * n overflow
-  // for n near 2^32.
-  if (n == 0 ? total != 0 : total / n > n) {
-    return Status::Corruption("label store " + std::string(side) +
-                              " total " + std::to_string(total) +
-                              " impossible for " + std::to_string(n) +
-                              " vertices");
-  }
-  // No n-sized or total-sized pre-allocation from the untrusted header:
-  // offsets grow one stream-backed row at a time, keys one bounded slice
-  // at a time, so a forged header wastes at most one slice before the
-  // read failure surfaces.
-  offsets->clear();
-  offsets->push_back(0);
+Status ReadKeys(std::istream& in, size_t n, uint64_t total, const char* side,
+                const std::vector<uint64_t>& offsets,
+                std::vector<uint32_t>* keys) {
   keys->clear();
-  keys->reserve(static_cast<size_t>(std::min<uint64_t>(
-      total, kKeySliceEntries)));
+  keys->reserve(
+      static_cast<size_t>(std::min<uint64_t>(total, kKeySliceEntries)));
   std::vector<uint32_t> slice;
-  uint64_t consumed = 0;
-  for (Vertex v = 0; v < n; ++v) {
-    uint32_t count = 0;
-    in.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!in) return Status::Corruption("truncated label store row");
-    if (count > n || count > total - consumed) {
-      return Status::Corruption("label store " + std::string(side) +
-                                " row " + std::to_string(v) + " count " +
-                                std::to_string(count) +
-                                " exceeds the declared total");
+  for (uint64_t remaining = total; remaining > 0;) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(remaining, kKeySliceEntries));
+    slice.resize(chunk);
+    in.read(reinterpret_cast<char*>(slice.data()),
+            static_cast<std::streamsize>(chunk * sizeof(uint32_t)));
+    if (!in) {
+      return Status::Corruption("truncated label store " + std::string(side) +
+                                " keys");
     }
-    int64_t prev = -1;
-    for (size_t remaining = count; remaining > 0;) {
-      const size_t chunk = std::min(remaining, kKeySliceEntries);
-      slice.resize(chunk);
-      in.read(reinterpret_cast<char*>(slice.data()),
-              static_cast<std::streamsize>(chunk * sizeof(uint32_t)));
-      if (!in) return Status::Corruption("truncated label store row data");
-      for (const uint32_t key : slice) {
-        if (key >= n) {
-          return Status::Corruption("label store " + std::string(side) +
-                                    " row " + std::to_string(v) +
-                                    " key out of range");
-        }
-        if (static_cast<int64_t>(key) <= prev) {
-          return Status::Corruption("label store " + std::string(side) +
-                                    " row " + std::to_string(v) +
-                                    " keys not strictly ascending");
-        }
-        prev = static_cast<int64_t>(key);
-        keys->push_back(key);
+    for (const uint32_t key : slice) {
+      if (key >= n) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " key out of range");
       }
-      remaining -= chunk;
+      keys->push_back(key);
     }
-    consumed += count;
-    offsets->push_back(consumed);
+    remaining -= chunk;
   }
-  if (consumed != total) {
-    return Status::Corruption("label store " + std::string(side) +
-                              " rows sum to " + std::to_string(consumed) +
-                              ", header declared " + std::to_string(total));
+  // Per-row strict ascent, checked once the row boundaries are known.
+  for (Vertex v = 0; v < n; ++v) {
+    for (uint64_t i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+      if ((*keys)[i - 1] >= (*keys)[i]) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " row " + std::to_string(v) +
+                                  " keys not strictly ascending");
+      }
+    }
+  }
+  // The writer pads with zeros; anything else is not a blob it produced.
+  char pad[sizeof(uint32_t)] = {};
+  const size_t pad_bytes = KeysPadBytes(total);
+  if (pad_bytes > 0) {
+    in.read(pad, static_cast<std::streamsize>(pad_bytes));
+    if (!in) {
+      return Status::Corruption("truncated label store " + std::string(side) +
+                                " padding");
+    }
+    for (size_t i = 0; i < pad_bytes; ++i) {
+      if (pad[i] != 0) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " padding is not zero");
+      }
+    }
   }
   return Status::OK();
 }
 
 }  // namespace
 
-void LabelStore::Init(size_t num_vertices) {
-  num_vertices_ = num_vertices;
+LabelStore& LabelStore::operator=(const LabelStore& other) {
+  if (this == &other) return *this;
+  num_vertices_ = other.num_vertices_;
+  sealed_ = other.sealed_;
+  build_out_ = other.build_out_;
+  build_in_ = other.build_in_;
+  offsets_out_ = other.offsets_out_;
+  offsets_in_ = other.offsets_in_;
+  keys_out_ = other.keys_out_;
+  keys_in_ = other.keys_in_;
+  backing_ = other.backing_;
+  if (sealed_ && backing_ == nullptr) {
+    // The copied vectors live at new addresses; a mapped surface stays
+    // valid because the blob is shared.
+    RepointOwned();
+  } else {
+    off_out_ = other.off_out_;
+    off_in_ = other.off_in_;
+    key_out_ = other.key_out_;
+    key_in_ = other.key_in_;
+  }
+  return *this;
+}
+
+LabelStore& LabelStore::operator=(LabelStore&& other) noexcept {
+  if (this == &other) return *this;
+  num_vertices_ = other.num_vertices_;
+  sealed_ = other.sealed_;
+  build_out_ = std::move(other.build_out_);
+  build_in_ = std::move(other.build_in_);
+  // Vector moves transfer the heap buffer, so the owned read surface keeps
+  // pointing at live storage without re-pointing.
+  offsets_out_ = std::move(other.offsets_out_);
+  offsets_in_ = std::move(other.offsets_in_);
+  keys_out_ = std::move(other.keys_out_);
+  keys_in_ = std::move(other.keys_in_);
+  backing_ = std::move(other.backing_);
+  off_out_ = other.off_out_;
+  off_in_ = other.off_in_;
+  key_out_ = other.key_out_;
+  key_in_ = other.key_in_;
+  other.Clear();
+  return *this;
+}
+
+void LabelStore::RepointOwned() {
+  off_out_ = offsets_out_.data();
+  off_in_ = offsets_in_.data();
+  key_out_ = keys_out_.data();
+  key_in_ = keys_in_.data();
+}
+
+void LabelStore::Clear() {
+  num_vertices_ = 0;
   sealed_ = false;
+  build_out_.clear();
+  build_in_.clear();
+  offsets_out_.clear();
+  offsets_in_.clear();
+  keys_out_.clear();
+  keys_in_.clear();
+  off_out_ = nullptr;
+  off_in_ = nullptr;
+  key_out_ = nullptr;
+  key_in_ = nullptr;
+  backing_.reset();
+}
+
+void LabelStore::Init(size_t num_vertices) {
+  Clear();
+  num_vertices_ = num_vertices;
   build_out_.assign(num_vertices, {});
   build_in_.assign(num_vertices, {});
-  offsets_out_.clear();
-  offsets_out_.shrink_to_fit();
-  offsets_in_.clear();
-  offsets_in_.shrink_to_fit();
-  keys_out_.clear();
-  keys_out_.shrink_to_fit();
-  keys_in_.clear();
-  keys_in_.shrink_to_fit();
 }
 
 void LabelStore::Canonicalize() {
@@ -151,33 +243,43 @@ void LabelStore::Seal() {
   seal_side(&build_out_, &offsets_out_, &keys_out_);
   seal_side(&build_in_, &offsets_in_, &keys_in_);
   sealed_ = true;
+  RepointOwned();
 }
 
 void LabelStore::Unseal() {
   if (!sealed_) return;
   const size_t n = num_vertices_;
-  const auto unseal_side = [n](std::vector<uint64_t>* offsets,
-                               std::vector<uint32_t>* keys,
-                               std::vector<std::vector<uint32_t>>* build) {
-    build->assign(n, {});
-    for (Vertex v = 0; v < n; ++v) {
-      (*build)[v].assign(keys->begin() + static_cast<ptrdiff_t>((*offsets)[v]),
-                         keys->begin() +
-                             static_cast<ptrdiff_t>((*offsets)[v + 1]));
-    }
-    offsets->clear();
-    offsets->shrink_to_fit();
-    keys->clear();
-    keys->shrink_to_fit();
-  };
-  unseal_side(&offsets_out_, &keys_out_, &build_out_);
-  unseal_side(&offsets_in_, &keys_in_, &build_in_);
+  // Copy out through the read surface, which serves owned and mapped
+  // backings alike; a mapped store materializes here and drops the blob.
+  std::vector<std::vector<uint32_t>> build_out(n);
+  std::vector<std::vector<uint32_t>> build_in(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::span<const uint32_t> out = Out(v);
+    build_out[v].assign(out.begin(), out.end());
+    const std::span<const uint32_t> in = In(v);
+    build_in[v].assign(in.begin(), in.end());
+  }
+  build_out_ = std::move(build_out);
+  build_in_ = std::move(build_in);
+  offsets_out_.clear();
+  offsets_out_.shrink_to_fit();
+  offsets_in_.clear();
+  offsets_in_.shrink_to_fit();
+  keys_out_.clear();
+  keys_out_.shrink_to_fit();
+  keys_in_.clear();
+  keys_in_.shrink_to_fit();
+  off_out_ = nullptr;
+  off_in_ = nullptr;
+  key_out_ = nullptr;
+  key_in_ = nullptr;
+  backing_.reset();
   sealed_ = false;
 }
 
 uint64_t LabelStore::TotalEntries() const {
   if (sealed_) {
-    return static_cast<uint64_t>(keys_out_.size()) + keys_in_.size();
+    return off_out_[num_vertices_] + off_in_[num_vertices_];
   }
   uint64_t total = 0;
   for (const auto& label : build_out_) total += label.size();
@@ -195,9 +297,11 @@ size_t LabelStore::MaxLabelSize() const {
 
 size_t LabelStore::MemoryBytes() const {
   if (sealed_) {
-    return (offsets_out_.capacity() + offsets_in_.capacity()) *
-               sizeof(uint64_t) +
-           (keys_out_.capacity() + keys_in_.capacity()) * sizeof(uint32_t);
+    // Exact: both backings address 2 offsets arrays + every key, nothing
+    // else (owned vectors are shrunk to fit; the mapped region is sized
+    // exactly by FromMapped's validation).
+    return 2 * (num_vertices_ + 1) * sizeof(uint64_t) +
+           static_cast<size_t>(TotalEntries()) * sizeof(uint32_t);
   }
   size_t bytes = (build_out_.capacity() + build_in_.capacity()) *
                  sizeof(std::vector<uint32_t>);
@@ -210,47 +314,98 @@ size_t LabelStore::MemoryBytes() const {
   return bytes;
 }
 
-Status LabelStore::Write(std::ostream& out) const {
-  const uint64_t magic = kMagic;
-  const uint64_t n = num_vertices_;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+uint64_t LabelStore::SerializedBytes() const {
   uint64_t total_out = 0;
   uint64_t total_in = 0;
   for (Vertex v = 0; v < num_vertices_; ++v) {
     total_out += Out(v).size();
     total_in += In(v).size();
   }
-  REACH_RETURN_IF_ERROR(WriteSide(*this, /*out_side=*/true, num_vertices_,
-                                  total_out, out));
-  REACH_RETURN_IF_ERROR(WriteSide(*this, /*out_side=*/false, num_vertices_,
-                                  total_in, out));
+  return kHeaderBytes + 2 * (num_vertices_ + 1) * sizeof(uint64_t) +
+         total_out * sizeof(uint32_t) + KeysPadBytes(total_out) +
+         total_in * sizeof(uint32_t) + KeysPadBytes(total_in);
+}
+
+Status LabelStore::Write(std::ostream& out) const {
+  const uint64_t magic = kMagic;
+  const uint64_t n = num_vertices_;
+  uint64_t total_out = 0;
+  uint64_t total_in = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    total_out += Out(v).size();
+    total_in += In(v).size();
+  }
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&total_out), sizeof(total_out));
+  out.write(reinterpret_cast<const char*>(&total_in), sizeof(total_in));
+  const char pad[sizeof(uint32_t)] = {};
+  const auto write_side = [&](bool out_side, uint64_t total) {
+    if (sealed_) {
+      // Both sealed backings expose contiguous arrays: bulk writes.
+      const uint64_t* offsets = out_side ? off_out_ : off_in_;
+      const uint32_t* keys = out_side ? key_out_ : key_in_;
+      out.write(reinterpret_cast<const char*>(offsets),
+                static_cast<std::streamsize>((n + 1) * sizeof(uint64_t)));
+      out.write(reinterpret_cast<const char*>(keys),
+                static_cast<std::streamsize>(total * sizeof(uint32_t)));
+    } else {
+      uint64_t acc = 0;
+      out.write(reinterpret_cast<const char*>(&acc), sizeof(acc));
+      for (Vertex v = 0; v < num_vertices_; ++v) {
+        acc += out_side ? Out(v).size() : In(v).size();
+        out.write(reinterpret_cast<const char*>(&acc), sizeof(acc));
+      }
+      for (Vertex v = 0; v < num_vertices_; ++v) {
+        const std::span<const uint32_t> label = out_side ? Out(v) : In(v);
+        out.write(reinterpret_cast<const char*>(label.data()),
+                  static_cast<std::streamsize>(label.size() *
+                                               sizeof(uint32_t)));
+      }
+    }
+    out.write(pad, static_cast<std::streamsize>(KeysPadBytes(total)));
+  };
+  write_side(/*out_side=*/true, total_out);
+  write_side(/*out_side=*/false, total_in);
+  if (!out) return Status::IOError("label store write failed");
   return Status::OK();
 }
 
 StatusOr<LabelStore> LabelStore::Read(std::istream& in) {
   uint64_t magic = 0;
   uint64_t n = 0;
+  uint64_t total_out = 0;
+  uint64_t total_in = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   if (!in || magic != kMagic) {
     return Status::Corruption("bad label store magic");
   }
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&total_out), sizeof(total_out));
+  in.read(reinterpret_cast<char*>(&total_in), sizeof(total_in));
   if (!in) return Status::Corruption("truncated label store header");
-  // Strictly within the uint32 id space: n == 2^32 would make the uint32
-  // per-vertex loops below unable to ever reach n (an unbounded read on a
-  // hostile stream), and no key could address the last vertex anyway.
+  // Strictly within the uint32 id space: n == 2^32 would leave no valid
+  // key able to address the last vertex, and the id arithmetic below
+  // assumes vertex ids fit uint32.
   if (n > static_cast<uint64_t>(UINT32_MAX)) {
     return Status::Corruption("label store vertex count " +
                               std::to_string(n) + " exceeds uint32 id space");
   }
+  if (SideTotalImpossible(n, total_out) || SideTotalImpossible(n, total_in)) {
+    return Status::Corruption("label store totals impossible for " +
+                              std::to_string(n) + " vertices");
+  }
   LabelStore store;
   store.num_vertices_ = static_cast<size_t>(n);
   store.sealed_ = true;
-  REACH_RETURN_IF_ERROR(ReadSide(in, store.num_vertices_, "Lout",
-                                 &store.offsets_out_, &store.keys_out_));
-  REACH_RETURN_IF_ERROR(ReadSide(in, store.num_vertices_, "Lin",
-                                 &store.offsets_in_, &store.keys_in_));
+  REACH_RETURN_IF_ERROR(ReadOffsets(in, store.num_vertices_, total_out,
+                                    "Lout", &store.offsets_out_));
+  REACH_RETURN_IF_ERROR(ReadKeys(in, store.num_vertices_, total_out, "Lout",
+                                 store.offsets_out_, &store.keys_out_));
+  REACH_RETURN_IF_ERROR(ReadOffsets(in, store.num_vertices_, total_in, "Lin",
+                                    &store.offsets_in_));
+  REACH_RETURN_IF_ERROR(ReadKeys(in, store.num_vertices_, total_in, "Lin",
+                                 store.offsets_in_, &store.keys_in_));
   if (in.peek() != std::istream::traits_type::eof()) {
     return Status::Corruption("trailing bytes after label store blob");
   }
@@ -260,6 +415,123 @@ StatusOr<LabelStore> LabelStore::Read(std::istream& in) {
   store.offsets_in_.shrink_to_fit();
   store.keys_out_.shrink_to_fit();
   store.keys_in_.shrink_to_fit();
+  store.RepointOwned();
+  return store;
+}
+
+StatusOr<LabelStore> LabelStore::FromMapped(MappedRegion region) {
+  if (region.blob == nullptr) {
+    return Status::InvalidArgument("label store region has no backing blob");
+  }
+  // The blob start is 64-byte aligned (MappedBlob contract); an 8-aligned
+  // offset within it keeps every u64 section aligned for in-place reads.
+  if (region.offset % sizeof(uint64_t) != 0) {
+    return Status::Corruption("label store region offset " +
+                              std::to_string(region.offset) +
+                              " is not 8-byte aligned");
+  }
+  const std::span<const std::byte> bytes = region.bytes();
+  // Every size check below runs BEFORE the bytes it justifies are touched:
+  // the region boundary is the file boundary, and dereferencing past a
+  // mapped file raises SIGBUS rather than failing gracefully.
+  if (bytes.size() < kHeaderBytes) {
+    return Status::Corruption("label store blob truncated before header");
+  }
+  uint64_t header[4];
+  std::memcpy(header, bytes.data(), sizeof(header));
+  const uint64_t magic = header[0];
+  const uint64_t n = header[1];
+  const uint64_t total_out = header[2];
+  const uint64_t total_in = header[3];
+  if (magic != kMagic) {
+    // A foreign-endian file (or any older/foreign format) fails here: the
+    // magic bytes are written local-endian, so a swapped file cannot match.
+    return Status::Corruption("bad label store magic");
+  }
+  if (n > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::Corruption("label store vertex count " +
+                              std::to_string(n) + " exceeds uint32 id space");
+  }
+  if (SideTotalImpossible(n, total_out) || SideTotalImpossible(n, total_in)) {
+    return Status::Corruption("label store totals impossible for " +
+                              std::to_string(n) + " vertices");
+  }
+  // Overflow-safe sizing: each total is first bounded by the region size
+  // (any larger value is truncation regardless), so the byte arithmetic
+  // below stays far from uint64 wraparound.
+  const uint64_t max_entries = bytes.size() / sizeof(uint32_t);
+  if (total_out > max_entries || total_in > max_entries) {
+    return Status::Corruption("label store blob truncated");
+  }
+  const uint64_t offsets_bytes = (n + 1) * sizeof(uint64_t);
+  const uint64_t out_section = total_out * sizeof(uint32_t) +
+                               KeysPadBytes(total_out);
+  const uint64_t in_section = total_in * sizeof(uint32_t) +
+                              KeysPadBytes(total_in);
+  const uint64_t required =
+      kHeaderBytes + 2 * offsets_bytes + out_section + in_section;
+  // Exact: the label blob is always the final section of its file, so a
+  // size mismatch means truncation or trailing bytes — both rejected.
+  if (required != bytes.size()) {
+    return Status::Corruption(
+        "label store blob is " + std::to_string(bytes.size()) +
+        " bytes, header implies " + std::to_string(required));
+  }
+  const std::byte* base = bytes.data();
+  const uint64_t* off_out = reinterpret_cast<const uint64_t*>(
+      base + kHeaderBytes);
+  const uint32_t* key_out = reinterpret_cast<const uint32_t*>(
+      base + kHeaderBytes + offsets_bytes);
+  const uint64_t* off_in = reinterpret_cast<const uint64_t*>(
+      base + kHeaderBytes + offsets_bytes + out_section);
+  const uint32_t* key_in = reinterpret_cast<const uint32_t*>(
+      base + kHeaderBytes + 2 * offsets_bytes + out_section);
+  // The offsets arrays address memory (span construction adds them to the
+  // keys base), so they are fully validated: monotone from zero, ending
+  // exactly at the declared totals. Key VALUES are deliberately not
+  // validated here — see label_store.h for the memory-safety argument.
+  const auto check_offsets = [n](const uint64_t* offsets, uint64_t total,
+                                 const char* side) -> Status {
+    if (offsets[0] != 0 || offsets[n] != total) {
+      return Status::Corruption("label store " + std::string(side) +
+                                " offsets do not span the declared total");
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      if (offsets[v] > offsets[v + 1]) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " offsets not monotone");
+      }
+    }
+    return Status::OK();
+  };
+  REACH_RETURN_IF_ERROR(check_offsets(off_out, total_out, "Lout"));
+  REACH_RETURN_IF_ERROR(check_offsets(off_in, total_in, "Lin"));
+  const auto check_pad = [](const std::byte* pad, size_t count,
+                            const char* side) -> Status {
+    for (size_t i = 0; i < count; ++i) {
+      if (pad[i] != std::byte{0}) {
+        return Status::Corruption("label store " + std::string(side) +
+                                  " padding is not zero");
+      }
+    }
+    return Status::OK();
+  };
+  REACH_RETURN_IF_ERROR(
+      check_pad(base + kHeaderBytes + offsets_bytes +
+                    total_out * sizeof(uint32_t),
+                KeysPadBytes(total_out), "Lout"));
+  REACH_RETURN_IF_ERROR(
+      check_pad(base + kHeaderBytes + 2 * offsets_bytes + out_section +
+                    total_in * sizeof(uint32_t),
+                KeysPadBytes(total_in), "Lin"));
+  LabelStore store;
+  store.num_vertices_ = static_cast<size_t>(n);
+  store.sealed_ = true;
+  store.off_out_ = off_out;
+  store.off_in_ = off_in;
+  store.key_out_ = key_out;
+  store.key_in_ = key_in;
+  store.backing_ = std::move(region.blob);
   return store;
 }
 
@@ -274,6 +546,34 @@ StatusOr<LabelStore> ReadLabelStoreFor(const Digraph& dag, std::istream& in,
         std::to_string(dag.num_vertices()));
   }
   return loaded;
+}
+
+StatusOr<LabelStore> MapLabelStoreFor(const Digraph& dag, MappedRegion region,
+                                      const char* who) {
+  StatusOr<LabelStore> mapped = LabelStore::FromMapped(std::move(region));
+  if (!mapped.ok()) return mapped.status();
+  if (mapped->num_vertices() != dag.num_vertices()) {
+    return Status::Corruption(
+        std::string(who) + " snapshot covers " +
+        std::to_string(mapped->num_vertices()) + " vertices, graph has " +
+        std::to_string(dag.num_vertices()));
+  }
+  return mapped;
+}
+
+std::optional<uint64_t> PeekSnapshotVertexCount(std::istream& in) {
+  if (!in) return std::nullopt;
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  const bool ok = static_cast<bool>(in);
+  in.clear();
+  in.seekg(pos);
+  if (!in || !ok) return std::nullopt;
+  return n;
 }
 
 bool LabelStore::operator==(const LabelStore& other) const {

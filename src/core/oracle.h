@@ -11,6 +11,7 @@
 #include <string>
 
 #include "graph/digraph.h"
+#include "util/mapped_blob.h"
 #include "util/status.h"
 
 namespace reach {
@@ -124,6 +125,14 @@ class ReachabilityOracle {
   /// SupportsSnapshot().
   Status Load(const Digraph& dag, std::istream& in);
 
+  /// Zero-copy twin of Load: restores from a mapped snapshot region
+  /// (util/mapped_blob.h) instead of a stream, leaving the oracle's label
+  /// arrays pointing into the mapping — the region's blob is retained for
+  /// the oracle's lifetime, and load cost is O(pages validated), not
+  /// O(index size). Same once-only/stats/pairing contract as Load.
+  /// NotSupported unless SupportsMappedSnapshot().
+  Status LoadMapped(const Digraph& dag, MappedRegion region);
+
   /// Writes the built index to `out` in the method's sealed snapshot
   /// format (core/label_store.h for the labeling oracles). Only valid
   /// after a successful Build or Load. NotSupported unless
@@ -134,6 +143,12 @@ class ReachabilityOracle {
   /// methods (DL, HL/TF, 2HOP, DL+dyn) do: their whole query state is one
   /// sealed LabelStore blob. Traversal- and TC-based methods do not.
   virtual bool SupportsSnapshot() const { return false; }
+
+  /// True when this oracle implements LoadIndexMapped, i.e. can serve its
+  /// index straight out of a mapped snapshot without copying it onto the
+  /// heap. Implied subset of SupportsSnapshot(): the mapped format is the
+  /// same bytes SaveIndex writes.
+  virtual bool SupportsMappedSnapshot() const { return false; }
 
   /// True iff u reaches v. Only valid after a successful Build.
   virtual bool Reachable(Vertex u, Vertex v) const = 0;
@@ -168,6 +183,12 @@ class ReachabilityOracle {
   /// Implementations must validate the (untrusted) stream and leave the
   /// oracle answering exactly as the saved one did.
   virtual Status LoadIndex(const Digraph& dag, std::istream& in);
+
+  /// Method-specific zero-copy restore; invoked exactly once by
+  /// LoadMapped(). Implementations validate the (untrusted) region
+  /// without ever touching bytes past its end and retain region.blob for
+  /// every pointer they keep into it.
+  virtual Status LoadIndexMapped(const Digraph& dag, MappedRegion region);
 
   /// Hook for method-specific BuildStats fields, invoked by Build()/Load()
   /// after the common fields are filled (the PrefilterOracle wrapper sets

@@ -7,14 +7,18 @@
 #include <utility>
 
 #include "graph/topology.h"
+#include "util/span_stream.h"
 
 namespace reach {
 
 namespace {
 
-// "RPREFLT1" little-endian: the prefilter auxiliary-array section that
-// precedes the wrapped oracle's own sealed blob in a snapshot.
-constexpr uint64_t kPrefilterMagic = 0x31544C4645525052ULL;
+// "RPREFLT2" little-endian: the prefilter auxiliary-array section that
+// precedes the wrapped oracle's own sealed blob in a snapshot. Version 2
+// appended a zero pad after the aux arrays so the wrapped blob starts
+// 8-byte aligned relative to the section start — the alignment the
+// zero-copy mapped load path (LoadIndexMapped) requires.
+constexpr uint64_t kPrefilterMagic = 0x32544C4645525052ULL;
 
 template <typename T>
 bool ReadPod(std::istream& in, T* value) {
@@ -44,6 +48,22 @@ void WriteArray(std::ostream& out, const std::vector<T>& values) {
             static_cast<std::streamsize>(values.size() * sizeof(T)));
 }
 
+// Serialized aux-section size for n vertices and k supports: header
+// (magic, n, k), the support list, seven u32 arrays, two u64 mask arrays.
+// Deterministic in (n, k), so writer and both readers agree on the
+// alignment pad without any stream positioning.
+size_t AuxSectionBytes(size_t n, size_t k) {
+  return 2 * sizeof(uint64_t) + sizeof(uint32_t) + k * sizeof(Vertex) +
+         7 * n * sizeof(uint32_t) + 2 * n * sizeof(uint64_t);
+}
+
+// Zero bytes after the aux section so the wrapped blob starts 8-aligned
+// relative to the prefilter section start.
+size_t AuxPadBytes(size_t n, size_t k) {
+  return (sizeof(uint64_t) - AuxSectionBytes(n, k) % sizeof(uint64_t)) %
+         sizeof(uint64_t);
+}
+
 }  // namespace
 
 PrefilterOracle::PrefilterOracle(std::unique_ptr<ReachabilityOracle> inner)
@@ -57,6 +77,10 @@ bool PrefilterOracle::ConcurrentQuerySafe() const {
 
 bool PrefilterOracle::SupportsSnapshot() const {
   return inner_->SupportsSnapshot();
+}
+
+bool PrefilterOracle::SupportsMappedSnapshot() const {
+  return inner_->SupportsMappedSnapshot();
 }
 
 uint64_t PrefilterOracle::AuxIntegers() const {
@@ -336,6 +360,9 @@ Status PrefilterOracle::SaveIndex(std::ostream& out) const {
   WriteArray(out, blevel_);
   WriteArray(out, fmask_);
   WriteArray(out, bmask_);
+  const char pad[sizeof(uint64_t)] = {};
+  out.write(pad, static_cast<std::streamsize>(
+                     AuxPadBytes(n_, supports_.size())));
   if (!out) return Status::IOError("prefilter snapshot write failed");
   return inner_->SaveIndex(out);
 }
@@ -344,6 +371,31 @@ Status PrefilterOracle::LoadIndex(const Digraph& dag, std::istream& in) {
   if (!inner_->SupportsSnapshot()) {
     return Status::NotSupported(name() + " does not support index snapshots");
   }
+  REACH_RETURN_IF_ERROR(LoadAux(dag, in));
+  // The wrapped oracle's own hardened reader consumes the rest of the
+  // stream and rejects trailing bytes.
+  return inner_->Load(dag, in);
+}
+
+Status PrefilterOracle::LoadIndexMapped(const Digraph& dag,
+                                        MappedRegion region) {
+  if (!inner_->SupportsMappedSnapshot()) {
+    return Status::NotSupported(name() +
+                                " does not support mapped index snapshots");
+  }
+  // The aux tables are parsed and deep-validated through the same
+  // stream reader the owned path uses (they are copied regardless — see
+  // LoadAux); only the wrapped labeling blob that follows is zero-copy.
+  SpanIStream aux(region.bytes());
+  REACH_RETURN_IF_ERROR(LoadAux(dag, aux));
+  // LoadAux consumed the aux section plus its alignment pad, so the inner
+  // blob offset is 8-aligned relative to the (64-aligned) region start.
+  const size_t consumed = AuxSectionBytes(n_, supports_.size()) +
+                          AuxPadBytes(n_, supports_.size());
+  return inner_->LoadMapped(dag, region.Subregion(consumed));
+}
+
+Status PrefilterOracle::LoadAux(const Digraph& dag, std::istream& in) {
   uint64_t magic = 0;
   if (!ReadPod(in, &magic)) {
     return Status::Corruption("truncated prefilter snapshot header");
@@ -435,10 +487,21 @@ Status PrefilterOracle::LoadIndex(const Digraph& dag, std::istream& in) {
   };
   REACH_RETURN_IF_ERROR(read_masks(&fmask_, "forward support masks"));
   REACH_RETURN_IF_ERROR(read_masks(&bmask_, "backward support masks"));
+  // The writer pads the aux section with zeros up to the wrapped blob's
+  // alignment boundary; anything else is not a snapshot it produced.
+  char pad[sizeof(uint64_t)] = {};
+  const size_t pad_bytes = AuxPadBytes(n, declared_k);
+  if (pad_bytes > 0) {
+    in.read(pad, static_cast<std::streamsize>(pad_bytes));
+    if (!in) return Status::Corruption("truncated prefilter padding");
+    for (size_t i = 0; i < pad_bytes; ++i) {
+      if (pad[i] != 0) {
+        return Status::Corruption("prefilter padding is not zero");
+      }
+    }
+  }
   PackRecords();
-  // The wrapped oracle's own hardened reader consumes the rest of the
-  // stream and rejects trailing bytes.
-  return inner_->Load(dag, in);
+  return Status::OK();
 }
 
 }  // namespace reach

@@ -11,6 +11,7 @@
 #include "core/oracle.h"
 #include "graph/digraph.h"
 #include "graph/scc.h"
+#include "util/mapped_blob.h"
 #include "util/status.h"
 
 namespace reach {
@@ -38,33 +39,70 @@ class ReachabilityIndex {
 
   /// As Build, but restores the oracle's index from a snapshot stream
   /// (ReachabilityOracle::SaveIndex of an oracle built on the same graph)
-  /// instead of constructing it — only the SCC condensation is recomputed.
-  /// The restart-without-rebuild path of reach_serve --load-index.
+  /// instead of constructing it. The restart-without-rebuild path of
+  /// reach_serve --load-index.
+  ///
+  /// SCC condensation is lazy: when the snapshot's vertex count equals
+  /// g.num_vertices(), the labels were keyed by original vertex ids
+  /// (CondenseToDag returns the identity condensation for DAG inputs, and
+  /// only a DAG's condensation can match the raw vertex count), so the
+  /// oracle loads directly over `g` and neither Tarjan nor the
+  /// condensed-graph materialization — nor an O(n + m) acyclicity re-check
+  /// — runs. The peeked count is untrusted; the oracle's own validated
+  /// load re-checks it against the graph. A count mismatch (every cyclic
+  /// graph's snapshot) falls back to the eager condensation.
   static StatusOr<ReachabilityIndex> Load(
       const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
       std::istream& in, BuildStats* stats_out = nullptr);
 
+  /// As Load, but zero-copy: the oracle serves its sealed index straight
+  /// out of `region`'s mapped bytes (ReachabilityOracle::LoadMapped), and
+  /// the index keeps the backing MappedBlob alive for its own lifetime.
+  /// Same lazy-condensation contract as Load.
+  static StatusOr<ReachabilityIndex> LoadMapped(
+      const Digraph& g, std::unique_ptr<ReachabilityOracle> oracle,
+      MappedRegion region, BuildStats* stats_out = nullptr);
+
   /// True iff a directed path from u to v exists in the original graph
   /// (trivially true when u == v or both lie in one SCC).
   bool Reachable(Vertex u, Vertex v) const {
+    if (identity_) return u == v || oracle_->Reachable(u, v);
     const Vertex cu = condensation_.component[u];
     const Vertex cv = condensation_.component[v];
     return cu == cv || oracle_->Reachable(cu, cv);
   }
 
-  /// The condensation DAG the oracle was built on.
+  /// The condensation DAG the oracle was built on. Only materialized when
+  /// the condensation itself was (identity_condensation() false): the lazy
+  /// load path serves straight off the input graph and returns an empty
+  /// graph here — callers on that path already hold the graph.
   const Digraph& dag() const { return condensation_.dag; }
   /// SCC id of an original vertex.
-  Vertex ComponentOf(Vertex v) const { return condensation_.component[v]; }
-  size_t num_components() const { return condensation_.num_components; }
+  Vertex ComponentOf(Vertex v) const {
+    return identity_ ? v : condensation_.component[v];
+  }
+  size_t num_components() const {
+    return identity_ ? num_vertices_ : condensation_.num_components;
+  }
+  /// True when the index skipped SCC condensation entirely (lazy load fast
+  /// path over a DAG): component ids are original vertex ids. reach_serve
+  /// logs this and the large_smoke test pins it at startup.
+  bool identity_condensation() const { return identity_; }
   const ReachabilityOracle& oracle() const { return *oracle_; }
 
  private:
   ReachabilityIndex(Condensation condensation,
                     std::unique_ptr<ReachabilityOracle> oracle)
       : condensation_(std::move(condensation)), oracle_(std::move(oracle)) {}
+  ReachabilityIndex(size_t num_vertices,
+                    std::unique_ptr<ReachabilityOracle> oracle)
+      : identity_(true),
+        num_vertices_(num_vertices),
+        oracle_(std::move(oracle)) {}
 
-  Condensation condensation_;
+  Condensation condensation_;  // Empty in identity mode.
+  bool identity_ = false;
+  size_t num_vertices_ = 0;  // Only meaningful in identity mode.
   std::unique_ptr<ReachabilityOracle> oracle_;
 };
 

@@ -44,6 +44,38 @@ Digraph Digraph::FromEdges(size_t num_vertices, std::vector<Edge> edges,
   return g;
 }
 
+Digraph Digraph::FromCsr(size_t num_vertices,
+                         std::vector<uint64_t> out_offsets,
+                         std::vector<Vertex> heads) {
+  assert(out_offsets.size() == num_vertices + 1);
+  assert(out_offsets.front() == 0 && out_offsets.back() == heads.size());
+
+  Digraph g;
+  g.num_vertices_ = num_vertices;
+  g.out_offsets_ = std::move(out_offsets);
+  g.heads_ = std::move(heads);
+
+  // Derive the reverse CSR: count in-degrees, prefix-sum, fill. Walking
+  // sources ascending fills each reverse bucket already sorted.
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  for (const Vertex w : g.heads_) {
+    assert(w < num_vertices);
+    ++g.in_offsets_[w + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.tails_.resize(g.heads_.size());
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    for (const Vertex w : g.OutNeighbors(v)) {
+      g.tails_[in_cursor[w]++] = v;
+    }
+  }
+  return g;
+}
+
 bool Digraph::HasEdge(Vertex u, Vertex v) const {
   auto nbrs = OutNeighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

@@ -38,6 +38,20 @@ class Digraph {
   static Digraph FromEdges(size_t num_vertices, std::vector<Edge> edges,
                            bool keep_self_loops = false);
 
+  /// Adopts an already-canonical forward CSR without materializing an edge
+  /// list: `out_offsets` has num_vertices+1 monotone entries starting at 0,
+  /// and each row heads[out_offsets[v] .. out_offsets[v+1]) is strictly
+  /// ascending with ids < num_vertices (which rules out duplicates; rows
+  /// may contain v itself only if the caller wants self-loops). The caller
+  /// vouches for canonical form — the streamed readers validate while
+  /// filling — and only the reverse CSR is derived here, in O(n + m) with
+  /// no edge-vector or sort. This is the large-graph load path: FromEdges
+  /// peaks at ~3x the final footprint (edge triples + both CSRs), FromCsr
+  /// at the final footprint plus the reverse arrays it is building anyway.
+  static Digraph FromCsr(size_t num_vertices,
+                         std::vector<uint64_t> out_offsets,
+                         std::vector<Vertex> heads);
+
   size_t num_vertices() const { return num_vertices_; }
   size_t num_edges() const { return heads_.size(); }
 

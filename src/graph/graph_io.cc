@@ -18,12 +18,49 @@ constexpr uint64_t kBinaryMagic = 0x52454143483031ULL;  // "REACH01"
 
 // Neighbor rows of a hostile binary file are read in bounded slices so a
 // forged degree cannot make us allocate its full claimed size before the
-// stream runs dry (see ReadBinary).
+// stream runs dry (see ReadBinary). The same bound paces the offsets
+// array: a forged vertex count allocates nothing the delivered rows did
+// not pay for.
 constexpr size_t kBinaryRowSliceEntries = 1 << 16;
+constexpr size_t kBinaryOffsetSliceEntries = 1 << 13;
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Strict shared parse of one edge-list line, used by the one-pass stream
+/// reader and both passes of the streamed file reader so every path
+/// reports identical errors. Returns OK with *skip=true for blank/comment
+/// lines.
+Status ParseEdgeListLine(const std::string& line, size_t line_no,
+                         uint64_t* u, uint64_t* v, bool* skip) {
+  *skip = false;
+  if (line.empty() || line[0] == '#' || line[0] == '%') {
+    *skip = true;
+    return Status::OK();
+  }
+  std::istringstream ls(line);
+  std::string u_token;
+  std::string v_token;
+  // Strict per-token parse (digits only, whole token): istream's uint64
+  // extraction would silently accept signs and hex/octal prefixes.
+  if (!(ls >> u_token >> v_token) || !ParseDecimalUint64(u_token, u) ||
+      !ParseDecimalUint64(v_token, v)) {
+    return Status::Corruption("edge list line " + std::to_string(line_no) +
+                              ": expected 'u v', got '" + line + "'");
+  }
+  std::string extra;
+  if (ls >> extra) {
+    return Status::Corruption("edge list line " + std::to_string(line_no) +
+                              ": trailing '" + extra + "' after 'u v' in '" +
+                              line + "'");
+  }
+  if (*u > UINT32_MAX || *v > UINT32_MAX) {
+    return Status::InvalidArgument("vertex id exceeds uint32 at line " +
+                                   std::to_string(line_no));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -34,38 +71,102 @@ StatusOr<Digraph> ReadEdgeList(std::istream& in) {
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    std::string u_token;
-    std::string v_token;
     uint64_t u = 0;
     uint64_t v = 0;
-    // Strict per-token parse (digits only, whole token): istream's uint64
-    // extraction would silently accept signs and hex/octal prefixes.
-    if (!(ls >> u_token >> v_token) || !ParseDecimalUint64(u_token, &u) ||
-        !ParseDecimalUint64(v_token, &v)) {
-      return Status::Corruption("edge list line " + std::to_string(line_no) +
-                                ": expected 'u v', got '" + line + "'");
-    }
-    std::string extra;
-    if (ls >> extra) {
-      return Status::Corruption("edge list line " + std::to_string(line_no) +
-                                ": trailing '" + extra + "' after 'u v' in '" +
-                                line + "'");
-    }
-    if (u > UINT32_MAX || v > UINT32_MAX) {
-      return Status::InvalidArgument("vertex id exceeds uint32 at line " +
-                                     std::to_string(line_no));
-    }
+    bool skip = false;
+    REACH_RETURN_IF_ERROR(ParseEdgeListLine(line, line_no, &u, &v, &skip));
+    if (skip) continue;
     builder.AddEdge(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }
   return builder.Build();
 }
 
 StatusOr<Digraph> ReadEdgeListFile(const std::string& path) {
+  // Two passes over the file, straight into CSR: pass 1 counts per-source
+  // degrees (and learns the vertex count), pass 2 fills the neighbor array
+  // in place. Nothing edge-sized is materialized besides the CSR itself —
+  // the one-pass stream reader's Edge vector plus FromEdges' sort peak at
+  // ~3x the final footprint, which is what caps loadable graph size. Rows
+  // are then canonicalized (sorted, deduped, self-loops dropped) in place,
+  // so the result is byte-identical to ReadEdgeList on the same bytes.
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
-  return ReadEdgeList(in);
+
+  std::vector<uint64_t> degree;  // degree[u+1] = raw out-degree of u.
+  std::string line;
+  size_t line_no = 0;
+  size_t n = 0;
+  uint64_t raw_edges = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    bool skip = false;
+    REACH_RETURN_IF_ERROR(ParseEdgeListLine(line, line_no, &u, &v, &skip));
+    if (skip) continue;
+    // A self-loop line still grows the vertex space (GraphBuilder
+    // semantics) but contributes no edge.
+    n = std::max(n, static_cast<size_t>(std::max(u, v)) + 1);
+    if (u == v) continue;
+    if (degree.size() < u + 2) degree.resize(u + 2, 0);
+    ++degree[u + 1];
+    ++raw_edges;
+  }
+  degree.resize(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) degree[v + 1] += degree[v];
+  std::vector<uint64_t> offsets = degree;  // Prefix sums = row starts.
+  std::vector<Vertex> heads(raw_edges);
+
+  in.clear();
+  in.seekg(0);
+  if (!in) return Status::IOError("cannot rewind " + path);
+  line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    bool skip = false;
+    const Status status = ParseEdgeListLine(line, line_no, &u, &v, &skip);
+    // Pass 1 already accepted every line; a failure here (or a cursor
+    // overrun below) means the file changed between passes.
+    if (!status.ok()) {
+      return Status::Corruption(path + " changed while being read: " +
+                                status.message());
+    }
+    if (skip || u == v) continue;
+    if (degree[u] >= offsets[u + 1]) {
+      return Status::Corruption(path + " changed while being read: row " +
+                                std::to_string(u) + " grew");
+    }
+    heads[degree[u]++] = static_cast<Vertex>(v);  // degree[] is now cursors.
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (degree[v] != offsets[v + 1]) {
+      return Status::Corruption(path + " changed while being read: row " +
+                                std::to_string(v) + " shrank");
+    }
+  }
+
+  // Canonicalize each row in place: sort + dedup, compacting leftwards
+  // (the write cursor never passes a row's read start).
+  uint64_t write = 0;
+  uint64_t prev_end = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t begin = prev_end;
+    const uint64_t end = offsets[v + 1];
+    prev_end = end;
+    std::sort(heads.begin() + static_cast<ptrdiff_t>(begin),
+              heads.begin() + static_cast<ptrdiff_t>(end));
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i > begin && heads[i] == heads[i - 1]) continue;
+      heads[write++] = heads[i];
+    }
+    offsets[v + 1] = write;
+  }
+  offsets[0] = 0;
+  heads.resize(write);
+  heads.shrink_to_fit();
+  return Digraph::FromCsr(n, std::move(offsets), std::move(heads));
 }
 
 Status WriteEdgeList(const Digraph& g, std::ostream& out) {
@@ -208,13 +309,21 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
                               " impossible for " + std::to_string(n) +
                               " vertices");
   }
-  std::vector<Edge> edges;
-  // Reserve only what the stream has plausibly backed so far; a forged m
-  // must not pre-allocate memory the rows never deliver. The vector's
-  // amortized growth covers honest large graphs.
-  edges.reserve(static_cast<size_t>(
+  // Single pass, straight into the forward CSR: rows arrive in ascending
+  // source order and already canonical (strictly ascending, loop-free —
+  // WriteBinary's contract, revalidated below), so each row is read
+  // directly into its final position in `heads` and no intermediate Edge
+  // vector — the old ~3x peak footprint — is ever materialized. Both
+  // arrays grow amortized, capped by what the stream actually delivered:
+  // a forged n or m cannot pre-allocate memory the rows never back.
+  std::vector<uint64_t> offsets;
+  offsets.reserve(static_cast<size_t>(
+      std::min<uint64_t>(n + 1, kBinaryOffsetSliceEntries)));
+  offsets.push_back(0);
+  std::vector<Vertex> heads;
+  heads.reserve(static_cast<size_t>(
       std::min<uint64_t>(m, kBinaryRowSliceEntries)));
-  std::vector<Vertex> slice;
+  uint64_t filled = 0;
   for (uint64_t v = 0; v < n; ++v) {
     uint32_t deg = 0;
     in.read(reinterpret_cast<char*>(&deg), sizeof(deg));
@@ -228,23 +337,22 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
                                 " impossible for " + std::to_string(n) +
                                 " vertices");
     }
-    if (deg > m - edges.size()) {
+    if (deg > m - filled) {
       return Status::Corruption("binary graph rows exceed header edge count " +
                                 std::to_string(m));
     }
-    // Bounded slices: a truncated file wastes at most one slice of
-    // allocation before the read failure surfaces. WriteBinary emits each
-    // row strictly ascending with no self-loop (OutNeighbors of a deduped,
-    // loop-free Digraph), so any other row shape is not a graph this
-    // reader produced.
+    // Bounded increments: a truncated file wastes at most one slice of
+    // allocation before the read failure surfaces. Validation runs over
+    // the just-read range in place.
     int64_t prev = -1;
     for (size_t remaining = deg; remaining > 0;) {
       const size_t chunk = std::min(remaining, kBinaryRowSliceEntries);
-      slice.resize(chunk);
-      in.read(reinterpret_cast<char*>(slice.data()),
+      heads.resize(static_cast<size_t>(filled) + chunk);
+      in.read(reinterpret_cast<char*>(heads.data() + filled),
               static_cast<std::streamsize>(chunk * sizeof(Vertex)));
       if (!in) return Status::Corruption("truncated binary graph row data");
-      for (const Vertex w : slice) {
+      for (size_t i = 0; i < chunk; ++i) {
+        const Vertex w = heads[static_cast<size_t>(filled) + i];
         if (w >= n) return Status::Corruption("binary graph neighbor range");
         if (static_cast<int64_t>(w) <= prev) {
           return Status::Corruption("binary graph row " + std::to_string(v) +
@@ -255,12 +363,13 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
                                     " contains a self-loop");
         }
         prev = static_cast<int64_t>(w);
-        edges.push_back(Edge{static_cast<Vertex>(v), w});
       }
+      filled += chunk;
       remaining -= chunk;
     }
+    offsets.push_back(filled);
   }
-  if (edges.size() != m) {
+  if (filled != m) {
     return Status::Corruption("binary graph edge count mismatch");
   }
   // WriteBinary emits nothing after the last row; anything further is not a
@@ -268,7 +377,9 @@ StatusOr<Digraph> ReadBinary(std::istream& in) {
   if (in.peek() != std::istream::traits_type::eof()) {
     return Status::Corruption("binary graph has trailing bytes after rows");
   }
-  return Digraph::FromEdges(n, std::move(edges));
+  heads.shrink_to_fit();
+  return Digraph::FromCsr(static_cast<size_t>(n), std::move(offsets),
+                          std::move(heads));
 }
 
 StatusOr<Digraph> ReadGraphFile(const std::string& path) {

@@ -21,9 +21,13 @@
 
 namespace reach {
 
-/// Parses a SNAP-style edge list from a stream.
+/// Parses a SNAP-style edge list from a stream (one pass; buffers an edge
+/// vector, so peak memory is ~3x the final CSR).
 StatusOr<Digraph> ReadEdgeList(std::istream& in);
-/// Parses a SNAP-style edge list from a file.
+/// Parses a SNAP-style edge list from a file in two streaming passes
+/// (degree count, then CSR fill): no intermediate edge vector, so peak
+/// memory stays at the final CSR plus the offsets — the large-graph load
+/// path. Produces exactly the graph ReadEdgeList would.
 StatusOr<Digraph> ReadEdgeListFile(const std::string& path);
 /// Writes a SNAP-style edge list ("u v" per line, with a header comment).
 Status WriteEdgeList(const Digraph& g, std::ostream& out);
@@ -37,7 +41,9 @@ Status WriteGra(const Digraph& g, std::ostream& out);
 /// Defined only for loop-free simple digraphs — the library's canonical
 /// form (GraphBuilder/FromEdges dedupe and drop self-loops by default).
 /// WriteBinary rejects self-loop graphs with InvalidArgument so it can
-/// never emit a file the hardened ReadBinary refuses to load.
+/// never emit a file the hardened ReadBinary refuses to load. ReadBinary
+/// streams rows directly into the final CSR (no intermediate edge vector),
+/// validating every row before trusting it.
 Status WriteBinary(const Digraph& g, std::ostream& out);
 StatusOr<Digraph> ReadBinary(std::istream& in);
 

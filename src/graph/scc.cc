@@ -80,6 +80,17 @@ Condensation CondenseToDag(const Digraph& g) {
   Condensation result;
   result.component = StronglyConnectedComponents(g, &result.num_components);
 
+  if (result.num_components == g.num_vertices()) {
+    // Every SCC is trivial: use the identity condensation instead of
+    // Tarjan's completion-order numbering. This keeps label keys in
+    // original vertex-id space for DAG inputs, which is what lets a saved
+    // index be re-served without recomputing SCCs (the snapshot's vertex
+    // count then matches the raw graph; see ReachabilityIndex::Load).
+    for (Vertex v = 0; v < g.num_vertices(); ++v) result.component[v] = v;
+    result.dag = g;
+    return result;
+  }
+
   std::vector<Edge> dag_edges;
   dag_edges.reserve(g.num_edges() / 2);
   for (Vertex v = 0; v < g.num_vertices(); ++v) {

@@ -13,9 +13,14 @@ namespace reach {
 
 /// Result of SCC decomposition + condensation.
 struct Condensation {
-  /// component[v] = SCC id of original vertex v. SCC ids are dense and in
-  /// reverse topological order of the condensation (Tarjan's property:
-  /// a component is numbered before any component that reaches it).
+  /// component[v] = SCC id of original vertex v. When every SCC is trivial
+  /// (the input is already a DAG) the condensation is the identity:
+  /// component[v] == v and `dag` is a copy of the input graph, so labels
+  /// built on the condensation are keyed by original vertex ids and a
+  /// saved index can later be served without recomputing SCCs (see
+  /// ReachabilityIndex::Load). Otherwise SCC ids are dense and in reverse
+  /// topological order of the condensation (Tarjan's property: a component
+  /// is numbered before any component that reaches it).
   std::vector<Vertex> component;
   /// Number of SCCs.
   size_t num_components = 0;

@@ -9,14 +9,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <utility>
 
 #include "baselines/factory.h"
 #include "core/prefilter.h"
 #include "server/snapshot.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace reach {
 namespace server {
@@ -86,23 +88,22 @@ Status ReachServer::Start(const Digraph& graph,
         "' does not support index snapshots (snapshot-capable: DL, HL, TF, "
         "2HOP)");
   }
+  info_log_ = options.info_log;
+  Timer load_timer;
   if (!options.load_index_path.empty()) {
     // Restart-without-rebuild: restore the saved index instead of paying
-    // construction again. Only the SCC condensation is recomputed.
-    std::ifstream snapshot(options.load_index_path, std::ios::binary);
-    if (!snapshot) {
-      return Status::IOError("cannot open index snapshot " +
-                             options.load_index_path);
-    }
-    REACH_RETURN_IF_ERROR(ReadSnapshotHeader(snapshot, options.method,
-                                             graph.num_vertices(),
-                                             graph.num_edges()));
-    StatusOr<ReachabilityIndex> index = ReachabilityIndex::Load(
-        graph, std::move(oracle), snapshot, &build_stats_);
+    // construction again (mmap-backed when method and platform allow; see
+    // LoadIndexSnapshotFile's capability matrix). SCC condensation is
+    // recomputed only when the snapshot is not DAG-shaped.
+    StatusOr<ReachabilityIndex> index = LoadIndexSnapshotFile(
+        options.load_index_path, options.method, graph, std::move(oracle),
+        &build_stats_, &loaded_mmap_);
     if (!index.ok()) return index.status();
     index_slot_.Publish(
         std::make_shared<const ReachabilityIndex>(std::move(*index)));
     loaded_from_snapshot_ = true;
+    RecordPublish("loaded " + options.load_index_path,
+                  load_timer.ElapsedMillis(), loaded_mmap_);
   } else {
     BuildOptions build_options;
     build_options.threads = options.build_threads;
@@ -111,6 +112,8 @@ Status ReachServer::Start(const Digraph& graph,
     if (!index.ok()) return index.status();
     index_slot_.Publish(
         std::make_shared<const ReachabilityIndex>(std::move(*index)));
+    RecordPublish("built index", load_timer.ElapsedMillis(),
+                  /*mapped=*/false);
     if (!options.save_index_path.empty()) {
       // Atomic publish (tmp + rename): a crash or full disk mid-write can
       // never leave a truncated file that poisons the next --load-index.
@@ -369,24 +372,39 @@ Status ReachServer::ReloadFromSnapshot(const std::string& path) {
   if (prefilter_) {
     oracle = std::make_unique<PrefilterOracle>(std::move(oracle));
   }
-  std::ifstream snapshot(path, std::ios::binary);
-  if (!snapshot) {
-    return Status::IOError("cannot open index snapshot " + path);
-  }
   // Strict validation before the swap: same method, same graph shape, and
-  // a label blob that passes the hardened LabelStore reader. Every failure
-  // below returns with the live index untouched.
-  REACH_RETURN_IF_ERROR(ReadSnapshotHeader(snapshot, context_.method,
-                                           graph_->num_vertices(),
-                                           graph_->num_edges()));
-  StatusOr<ReachabilityIndex> next =
-      ReachabilityIndex::Load(*graph_, std::move(oracle), snapshot);
+  // a label blob that passes the hardened reader (stream or mapped). Every
+  // failure below returns with the live index untouched.
+  Timer load_timer;
+  bool mapped = false;
+  StatusOr<ReachabilityIndex> next = LoadIndexSnapshotFile(
+      path, context_.method, *graph_, std::move(oracle), nullptr, &mapped);
   if (!next.ok()) return next.status();
   // Atomic publish: new queries acquire the new index; in-flight queries
-  // finish on the old one, which dies with its last reference.
+  // finish on the old one, which dies with its last reference — and with
+  // it the old mapping, which MappedBlob unmaps only then.
   index_slot_.Publish(
       std::make_shared<const ReachabilityIndex>(std::move(*next)));
+  RecordPublish("reloaded " + path, load_timer.ElapsedMillis(), mapped);
   return Status::OK();
+}
+
+void ReachServer::RecordPublish(const std::string& what, double millis,
+                                bool mapped) {
+  stats_.load_micros.store(static_cast<uint64_t>(millis * 1000.0),
+                           std::memory_order_relaxed);
+  const uint64_t rss_kb = PeakRssKb();
+  stats_.rss_peak_kb.store(rss_kb, std::memory_order_relaxed);
+  stats_.load_mmap.store(mapped ? 1 : 0, std::memory_order_relaxed);
+  if (info_log_ != nullptr) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%s: load_ms=%.3f rss_kb=%llu mmap=%d identity_scc=%d",
+                  what.c_str(), millis,
+                  static_cast<unsigned long long>(rss_kb), mapped ? 1 : 0,
+                  index_slot_.Acquire()->identity_condensation() ? 1 : 0);
+    info_log_(line);
+  }
 }
 
 Status ReachServer::SaveLiveIndex(const std::string& path) {

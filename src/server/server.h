@@ -81,6 +81,12 @@ struct ServerOptions {
   /// server carry the screening arrays in front of the oracle blob, so a
   /// prefilter snapshot requires a prefilter server (and vice versa).
   bool prefilter = false;
+  /// Optional human-readable event sink (reach_serve points it at stderr):
+  /// receives one line per index publish — the Start load and every
+  /// successful RELOAD — with load wall time, peak RSS, and serving mode.
+  /// Called from whatever thread performs the publish; must be internally
+  /// synchronized if it writes shared state. Null: silent.
+  std::function<void(const std::string& line)> info_log;
   ProtocolLimits limits;
 };
 
@@ -115,6 +121,11 @@ class ReachServer {
   /// True when Start restored the index from options.load_index_path
   /// instead of constructing it.
   bool loaded_from_snapshot() const { return loaded_from_snapshot_; }
+
+  /// True when the index Start published serves zero-copy from a file
+  /// mapping (LoadIndexSnapshotFile's capability matrix picked mmap).
+  /// False on the build path and on every fallback row.
+  bool loaded_mmap() const { return loaded_mmap_; }
 
   /// Live service counters (shared with every session).
   const ServerStats& stats() const { return stats_; }
@@ -151,6 +162,9 @@ class ReachServer {
   /// SAVE: writes the live index snapshot to `path` via the atomic
   /// tmp + rename publish (server/snapshot.h).
   Status SaveLiveIndex(const std::string& path) EXCLUDES(swap_mu_);
+  /// Records load diagnostics of an index publish (Start or RELOAD) into
+  /// stats_ and emits one info_log_ line when a sink is configured.
+  void RecordPublish(const std::string& what, double millis, bool mapped);
 
   // Lock map (see docs/ARCHITECTURE.md, "Lock map & thread-safety
   // analysis"): three mutexes, no nesting — each critical section touches
@@ -171,6 +185,7 @@ class ReachServer {
   Mutex swap_mu_;           // Serializes RELOAD/SAVE snapshot I/O so at
                             // most one candidate index is in flight.
   bool prefilter_ = false;  // RELOAD re-wraps its fresh oracle to match.
+  std::function<void(const std::string&)> info_log_;  // Set during Start.
   Mutex query_mutex_;       // Used only when the oracle is not
                             // concurrent-query-safe (context_.query_mutex).
 
@@ -192,6 +207,7 @@ class ReachServer {
   uint16_t port_ = 0;
   bool started_ = false;
   bool loaded_from_snapshot_ = false;
+  bool loaded_mmap_ = false;
   bool draining_ GUARDED_BY(mu_) = false;
   bool accept_done_ GUARDED_BY(mu_) = false;
   std::set<int> session_fds_ GUARDED_BY(mu_);

@@ -227,6 +227,23 @@ void Session::AppendStats(std::string* out) const {
   AppendKeyValue(out, "index_integers", build.index_integers);
   AppendKeyValue(out, "index_bytes", build.index_bytes);
   AppendKeyValue(out, "threads", static_cast<uint64_t>(build.threads));
+  // Last index publish: wall time to ready it, peak RSS right after, and
+  // whether the live index serves zero-copy from a file mapping. The
+  // identity_scc flag says the load skipped SCC condensation entirely
+  // (DAG-shaped snapshot; the large_smoke script pins it at startup).
+  char load_ms[32];
+  std::snprintf(load_ms, sizeof(load_ms), "%.3f",
+                static_cast<double>(
+                    stats.load_micros.load(std::memory_order_relaxed)) /
+                    1000.0);
+  *out += "load_ms ";
+  *out += load_ms;
+  *out += '\n';
+  AppendKeyValue(out, "rss_kb",
+                 stats.rss_peak_kb.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "mmap",
+                 stats.load_mmap.load(std::memory_order_relaxed));
+  AppendKeyValue(out, "identity_scc", index->identity_condensation() ? 1 : 0);
   // Pre-filter tier hit counters, live (not the build-time snapshot):
   // clients watching a negative-heavy workload should see the NO-stage
   // counters climb without a STATS round-trip lag.

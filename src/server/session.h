@@ -35,6 +35,13 @@ struct ServerStats {
   std::atomic<uint64_t> reloads{0};      // Successful RELOAD index swaps.
   std::atomic<uint64_t> saves{0};        // Successful SAVE snapshots.
   std::atomic<uint64_t> malformed{0};    // ERR responses sent.
+  // Load diagnostics of the most recent index publish (Start's build or
+  // load, then refreshed by every successful RELOAD). STATS exports them
+  // as load_ms / rss_kb / mmap so a client can watch a hot swap's cost
+  // without scraping the server log.
+  std::atomic<uint64_t> load_micros{0};  // Wall time to ready the index.
+  std::atomic<uint64_t> rss_peak_kb{0};  // Peak RSS sampled after publish.
+  std::atomic<uint64_t> load_mmap{0};    // 1: live index serves from mmap.
 };
 
 /// RCU-style publication slot for the live index. Readers take their own

@@ -1,19 +1,27 @@
 #include "server/snapshot.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
+
+#include "util/mapped_blob.h"
+#include "util/span_stream.h"
 
 namespace reach {
 namespace server {
 
 namespace {
 
-// "RSNAPSH1" as a little-endian u64, matching what PR 5 shipped.
-constexpr uint64_t kSnapshotMagic = 0x52534e4150534831ULL;
+// "RSNAPSH2" as a little-endian u64. Version 2 (this PR) appends the
+// 64-byte alignment pad after the fixed fields so the oracle payload can
+// be served zero-copy out of a mapping; version 1 files are rejected by
+// the magic check and must be re-saved.
+constexpr uint64_t kSnapshotMagic = 0x52534e4150534832ULL;
 
 }  // namespace
 
@@ -34,6 +42,10 @@ Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
   out.write(method.data(), method_len);
   out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
   out.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  const size_t raw = 8 + 4 + method.size() + 8 + 8;
+  const char pad[kSnapshotPayloadAlignment] = {};
+  out.write(pad, static_cast<std::streamsize>(
+                     SnapshotHeaderBytes(method.size()) - raw));
   if (!out) return Status::IOError("snapshot header write failed");
   return Status::OK();
 }
@@ -69,6 +81,14 @@ Status ReadSnapshotHeader(std::istream& in, const std::string& method,
         std::to_string(saved_vertices) + " vertices / " +
         std::to_string(saved_edges) + " edges; the served graph has " +
         std::to_string(vertices) + " / " + std::to_string(edges));
+  }
+  const size_t raw = 8 + 4 + method_len + 8 + 8;
+  char pad[kSnapshotPayloadAlignment] = {};
+  const size_t pad_len = SnapshotHeaderBytes(method_len) - raw;
+  in.read(pad, static_cast<std::streamsize>(pad_len));
+  if (!in) return Status::Corruption("truncated index snapshot header");
+  if (!std::all_of(pad, pad + pad_len, [](char c) { return c == 0; })) {
+    return Status::Corruption("index snapshot header pad is not zero");
   }
   return Status::OK();
 }
@@ -107,6 +127,42 @@ Status SaveIndexSnapshot(const std::string& path, const std::string& method,
     return status;
   }
   return Status::OK();
+}
+
+StatusOr<ReachabilityIndex> LoadIndexSnapshotFile(
+    const std::string& path, const std::string& method, const Digraph& graph,
+    std::unique_ptr<ReachabilityOracle> oracle, BuildStats* stats_out,
+    bool* mapped_out) {
+  if (mapped_out != nullptr) *mapped_out = false;
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("oracle must not be null");
+  }
+  if (!oracle->SupportsMappedSnapshot()) {
+    // Classic stream load: the oracle parses into owned vectors.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot open index snapshot " + path);
+    }
+    REACH_RETURN_IF_ERROR(ReadSnapshotHeader(in, method,
+                                             graph.num_vertices(),
+                                             graph.num_edges()));
+    return ReachabilityIndex::Load(graph, std::move(oracle), in, stats_out);
+  }
+  // Zero-copy path (or MappedBlob's aligned-heap read fallback where mmap
+  // is unavailable). The framing is validated through a stream view of the
+  // blob, which doubles as the "never read past the mapping" guard: a
+  // header running off a truncated file fails the stream reads instead of
+  // faulting.
+  StatusOr<std::shared_ptr<const MappedBlob>> blob = MappedBlob::Open(path);
+  if (!blob.ok()) return blob.status();
+  SpanIStream header((*blob)->bytes());
+  REACH_RETURN_IF_ERROR(ReadSnapshotHeader(header, method,
+                                           graph.num_vertices(),
+                                           graph.num_edges()));
+  if (mapped_out != nullptr) *mapped_out = (*blob)->mapped();
+  MappedRegion region{*blob, SnapshotHeaderBytes(method.size())};
+  return ReachabilityIndex::LoadMapped(graph, std::move(oracle),
+                                       std::move(region), stats_out);
 }
 
 }  // namespace server

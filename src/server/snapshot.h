@@ -1,11 +1,16 @@
 // Index snapshot framing and atomic publication for the serving layer.
 //
-// A server snapshot file is a framing header — magic "RSNAPSH1", the
+// A server snapshot file is a framing header — magic "RSNAPSH2", the
 // oracle method name, and the graph's |V|/|E|, all cross-checked on load —
-// followed by the oracle's own sealed SaveIndex blob (which carries its
-// own magic and validation; see core/label_store.h). The header ties a
-// snapshot to exactly one (method, graph) pair so a stale or foreign file
-// can never be swapped under a live server.
+// followed by zero padding up to the next 64-byte file offset, then the
+// oracle's own sealed SaveIndex blob (which carries its own magic and
+// validation; see core/label_store.h). The header ties a snapshot to
+// exactly one (method, graph) pair so a stale or foreign file can never be
+// swapped under a live server. The padding puts the oracle payload on a
+// 64-byte boundary: a MappedBlob's bytes are 64-byte aligned (mmap pages,
+// or the aligned-alloc fallback), so every section offset inside the
+// payload keeps the alignment the zero-copy readers require, and the
+// payload start shares no cache line with the header.
 //
 // Publication is atomic: SaveIndexSnapshot writes to "<path>.tmp", flushes,
 // and rename(2)s into place. A reader (a restarting server, or a live one
@@ -18,9 +23,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/oracle.h"
+#include "core/reachability.h"
+#include "graph/digraph.h"
 #include "util/status.h"
 
 namespace reach {
@@ -30,15 +38,31 @@ namespace server {
 /// bound so it can never emit a header its own reader refuses.
 constexpr uint32_t kSnapshotMaxMethodLen = 64;
 
-/// Writes the "RSNAPSH1" framing header. All-or-nothing: an unrepresentable
-/// method (empty, or longer than kSnapshotMaxMethodLen) is rejected with
-/// InvalidArgument before any byte is emitted.
+/// The oracle payload starts at a multiple of this file offset. Matches
+/// MappedBlob's allocation alignment, so payload-relative section offsets
+/// are also blob-relative-aligned.
+constexpr size_t kSnapshotPayloadAlignment = 64;
+
+/// Total framed header size (fixed fields + method + zero pad) for a
+/// method name of `method_len` bytes: the file offset where the oracle
+/// payload begins.
+constexpr size_t SnapshotHeaderBytes(size_t method_len) {
+  const size_t raw = 8 + 4 + method_len + 8 + 8;
+  return (raw + kSnapshotPayloadAlignment - 1) / kSnapshotPayloadAlignment *
+         kSnapshotPayloadAlignment;
+}
+
+/// Writes the "RSNAPSH2" framing header, including the alignment pad. All-
+/// or-nothing: an unrepresentable method (empty, or longer than
+/// kSnapshotMaxMethodLen) is rejected with InvalidArgument before any byte
+/// is emitted.
 Status WriteSnapshotHeader(std::ostream& out, const std::string& method,
                            uint64_t vertices, uint64_t edges);
 
 /// Validates the untrusted snapshot framing against what the caller is
-/// about to serve: same method, same graph shape. The oracle blob that
-/// follows revalidates itself (bounds, sortedness, trailing bytes).
+/// about to serve: same method, same graph shape, all-zero pad. Leaves the
+/// stream positioned at the oracle payload. The oracle blob that follows
+/// revalidates itself (bounds, sortedness, trailing bytes).
 Status ReadSnapshotHeader(std::istream& in, const std::string& method,
                           uint64_t vertices, uint64_t edges);
 
@@ -52,6 +76,28 @@ Status ReadSnapshotHeader(std::istream& in, const std::string& method,
 Status SaveIndexSnapshot(const std::string& path, const std::string& method,
                          uint64_t vertices, uint64_t edges,
                          const ReachabilityOracle& oracle);
+
+/// Shared --load-index / RELOAD body: opens the snapshot at `path`,
+/// validates the framing against (method, graph), and returns a ready
+/// index. Serving mode is picked by capability, not configuration:
+///
+///   oracle supports mapped snapshots, mmap available  -> zero-copy mmap
+///   oracle supports mapped snapshots, no mmap         -> aligned heap blob
+///                                                        (MappedBlob's
+///                                                        read fallback;
+///                                                        still zero-parse)
+///   oracle without mapped support                     -> classic stream
+///                                                        load (owned
+///                                                        vectors)
+///
+/// `mapped_out`, when non-null, reports whether the served index is backed
+/// by an actual file mapping (false in both fallback rows). The index
+/// keeps its backing blob alive until the last reference drops, so a
+/// RELOAD can retire a mapping while in-flight queries finish on it.
+StatusOr<ReachabilityIndex> LoadIndexSnapshotFile(
+    const std::string& path, const std::string& method, const Digraph& graph,
+    std::unique_ptr<ReachabilityOracle> oracle,
+    BuildStats* stats_out = nullptr, bool* mapped_out = nullptr);
 
 }  // namespace server
 }  // namespace reach

@@ -1,0 +1,140 @@
+#include "util/mapped_blob.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REACH_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define REACH_HAS_MMAP 0
+#endif
+
+namespace reach {
+
+namespace {
+
+// Both backings promise this alignment (mapped_blob.h); formats rely on it
+// for in-place uint64_t section starts.
+constexpr size_t kBlobAlignment = 64;
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const MappedBlob>> MappedBlob::ReadWholeFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end < 0 || !in) {
+    return Status::IOError("cannot determine size of " + path);
+  }
+  const size_t size = static_cast<size_t>(end);
+  std::byte* data = nullptr;
+  if (size > 0) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const size_t padded =
+        (size + kBlobAlignment - 1) / kBlobAlignment * kBlobAlignment;
+    data = static_cast<std::byte*>(std::aligned_alloc(kBlobAlignment, padded));
+    if (data == nullptr) {
+      return Status::ResourceExhausted("cannot allocate " +
+                                       std::to_string(size) + " bytes for " +
+                                       path);
+    }
+    in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in || in.gcount() != static_cast<std::streamsize>(size)) {
+      std::free(data);
+      return Status::IOError("short read of " + path);
+    }
+  }
+  std::shared_ptr<MappedBlob> blob(new MappedBlob());
+  blob->data_ = data;
+  blob->size_ = size;
+  blob->mapped_ = false;
+  blob->path_ = path;
+  return std::shared_ptr<const MappedBlob>(std::move(blob));
+}
+
+#if REACH_HAS_MMAP
+StatusOr<std::shared_ptr<const MappedBlob>> MappedBlob::MapWholeFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::IOError("cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(path + " is not a regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const std::byte* data = nullptr;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status =
+          Status::IOError("mmap " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    // Query-order page touches are random in file order; don't let
+    // readahead drag the whole index in on the first lookup. Advisory
+    // only — a failure changes performance, never correctness.
+    (void)::madvise(addr, size, MADV_RANDOM);
+    data = static_cast<const std::byte*>(addr);
+  }
+  // The mapping persists after close(2); keeping no fd means RELOAD can
+  // replace the file on disk while old queries still read the old pages.
+  ::close(fd);
+  std::shared_ptr<MappedBlob> blob(new MappedBlob());
+  blob->data_ = data;
+  blob->size_ = size;
+  blob->mapped_ = true;
+  blob->path_ = path;
+  return std::shared_ptr<const MappedBlob>(std::move(blob));
+}
+#endif  // REACH_HAS_MMAP
+
+StatusOr<std::shared_ptr<const MappedBlob>> MappedBlob::Open(
+    const std::string& path) {
+#if REACH_HAS_MMAP
+  StatusOr<std::shared_ptr<const MappedBlob>> mapped = MapWholeFile(path);
+  if (mapped.ok()) return mapped;
+  // Graceful fallback: an exotic filesystem that refuses mmap still loads
+  // (the caller can tell via mapped()). A missing file fails either way.
+#endif
+  return ReadWholeFile(path);
+}
+
+StatusOr<std::shared_ptr<const MappedBlob>> MappedBlob::OpenOwned(
+    const std::string& path) {
+  return ReadWholeFile(path);
+}
+
+bool MappedBlob::PlatformSupportsMmap() { return REACH_HAS_MMAP != 0; }
+
+MappedBlob::~MappedBlob() {
+  if (data_ == nullptr) return;
+#if REACH_HAS_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    return;
+  }
+#endif
+  std::free(const_cast<std::byte*>(data_));
+}
+
+}  // namespace reach

@@ -1,0 +1,52 @@
+#include "util/resource.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define REACH_HAS_RUSAGE 1
+#else
+#define REACH_HAS_RUSAGE 0
+#endif
+
+namespace reach {
+
+uint64_t PeakRssKb() {
+#if REACH_HAS_RUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes, Linux and the BSDs in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+uint64_t CurrentRssKb() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f != nullptr) {
+    unsigned long long size_pages = 0;
+    unsigned long long resident_pages = 0;
+    const int parsed =
+        std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+    std::fclose(f);
+    if (parsed == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      if (page > 0) {
+        return static_cast<uint64_t>(resident_pages) *
+               static_cast<uint64_t>(page) / 1024;
+      }
+    }
+  }
+#endif
+  return PeakRssKb();
+}
+
+}  // namespace reach

@@ -223,6 +223,8 @@ TEST(MetricNamesTest, StableMachineReadableNames) {
   EXPECT_EQ(MetricName(Metric::kQueryNanos), "query_ns");
   EXPECT_EQ(MetricName(Metric::kConstructionMillis), "construction_ms");
   EXPECT_EQ(MetricName(Metric::kIndexIntegers), "index_integers");
+  EXPECT_EQ(MetricName(Metric::kServeQps), "serve_qps");
+  EXPECT_EQ(MetricName(Metric::kLoadMillis), "load_ms");
   EXPECT_EQ(WorkloadName(WorkloadKind::kEqual), "equal");
   EXPECT_EQ(WorkloadName(WorkloadKind::kRandom), "random");
   EXPECT_EQ(WorkloadName(WorkloadKind::kNone), "none");

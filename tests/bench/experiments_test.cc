@@ -21,8 +21,9 @@ TEST(ExperimentRegistryTest, EveryPaperTablePresentExactlyOnce) {
   const char* expected[] = {"table1", "table2", "table3", "table4",
                             "table5", "table6", "table7", "fig3",
                             "fig4",   "serve_quick", "query_quick",
-                            "query_grouped_quick", "prefilter_quick"};
-  EXPECT_EQ(counts.size(), 13u);
+                            "query_grouped_quick", "prefilter_quick",
+                            "load_quick"};
+  EXPECT_EQ(counts.size(), 14u);
   for (const char* id : expected) {
     EXPECT_EQ(counts[id], 1) << id;
   }
@@ -34,7 +35,7 @@ TEST(ExperimentRegistryTest, IdsInPaperOrder) {
                                       "table5", "table6", "table7", "fig3",
                                       "fig4", "serve_quick", "query_quick",
                                       "query_grouped_quick",
-                                      "prefilter_quick"}));
+                                      "prefilter_quick", "load_quick"}));
 }
 
 TEST(ExperimentRegistryTest, FindResolvesAndRejects) {
@@ -191,6 +192,28 @@ TEST(ExperimentRegistryTest, PrefilterQuickShape) {
   EXPECT_EQ(spec->default_methods, (std::vector<std::string>{"DL", "HL"}));
   ASSERT_EQ(DatasetsFor(*spec).size(), 3u);
   EXPECT_FALSE(ExperimentCoversDataset(*spec, "nasa"));
+}
+
+TEST(ExperimentRegistryTest, LoadQuickShape) {
+  const auto spec = FindExperiment("load_quick");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, ExperimentKind::kLoad);
+  EXPECT_EQ(spec->metric, Metric::kLoadMillis);
+  EXPECT_EQ(spec->workload, WorkloadKind::kNone);
+  // The rows are the xl tier — paper-original sizes — not the scaled
+  // large tier, even though the spec reports large-tier defaults.
+  EXPECT_TRUE(spec->large);
+  const std::vector<DatasetSpec> rows = DatasetsFor(*spec);
+  ASSERT_EQ(rows.size(), XlDatasets().size());
+  for (const DatasetSpec& row : rows) {
+    EXPECT_DOUBLE_EQ(row.scale, 1.0) << row.name;
+    EXPECT_TRUE(ExperimentCoversDataset(*spec, row.name)) << row.name;
+  }
+  // Scaled large-tier rows are not part of the load experiment.
+  EXPECT_FALSE(ExperimentCoversDataset(*spec, "wiki"));
+  EXPECT_EQ(spec->default_methods, (std::vector<std::string>{"DL"}));
+  // Builds on the 16M-vertex instance need more than the tier's 25 s.
+  EXPECT_DOUBLE_EQ(DefaultConfigFor(*spec).build_time_budget_seconds, 120);
 }
 
 TEST(ExperimentRegistryTest, QueryGroupedQuickMirrorsQueryQuick) {

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "graph/generators.h"
@@ -315,6 +317,93 @@ TEST(GraphIoTest, MissingFileIsIOError) {
   auto g = ReadGraphFile("/tmp/definitely_missing_reach_graph.bin");
   EXPECT_FALSE(g.ok());
   EXPECT_TRUE(g.status().IsIOError());
+}
+
+namespace {
+
+/// Writes `content` to a temp file, reads it through the two-pass streamed
+/// reader, and removes the file.
+StatusOr<Digraph> ReadEdgeListFileFromString(const std::string& content,
+                                             const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/graph_io_test." + tag + ".txt";
+  {
+    std::ofstream out(path);
+    out << content;
+    EXPECT_TRUE(out.good()) << path;
+  }
+  auto g = ReadEdgeListFile(path);
+  std::remove(path.c_str());
+  return g;
+}
+
+}  // namespace
+
+// The two-pass streamed file reader must produce exactly the graph the
+// one-pass stream reader does — including on the awkward inputs: comments,
+// blank lines, duplicate edges, self-loops (dropped, but they still grow
+// the vertex space), unsorted rows, and vertex-id gaps.
+TEST(GraphIoTest, EdgeListFileStreamedMatchesOnePassReader) {
+  const std::string content =
+      "# header comment\n"
+      "5 2\n"
+      "0 3\n"
+      "% alt comment\n"
+      "\n"
+      "0 3\n"   // Duplicate.
+      "7 7\n"   // Self-loop: no edge, but vertex 7 exists.
+      "5 1\n"
+      "2 0\n";
+  std::istringstream one_pass_in(content);
+  auto one_pass = ReadEdgeList(one_pass_in);
+  auto two_pass = ReadEdgeListFileFromString(content, "awkward");
+  ASSERT_TRUE(one_pass.ok()) << one_pass.status().ToString();
+  ASSERT_TRUE(two_pass.ok()) << two_pass.status().ToString();
+  EXPECT_EQ(two_pass->num_vertices(), 8u);
+  EXPECT_EQ(two_pass->num_vertices(), one_pass->num_vertices());
+  EXPECT_EQ(two_pass->CollectEdges(), one_pass->CollectEdges());
+}
+
+TEST(GraphIoTest, EdgeListFileStreamedRejectsSameErrorsAsOnePass) {
+  for (const char* bad : {"0 1\nnot numbers\n", "0 1 2\n", "0 -1\n"}) {
+    std::istringstream in(bad);
+    EXPECT_FALSE(ReadEdgeList(in).ok()) << bad;
+    EXPECT_FALSE(ReadEdgeListFileFromString(bad, "bad").ok()) << bad;
+  }
+}
+
+TEST(GraphIoTest, EdgeListFileStreamedLargeGraphRoundTrip) {
+  // Large enough that the streamed reader's two passes and in-place
+  // canonicalization all do real work across many rows.
+  Digraph g = RandomDag(20000, 60000, 9);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteEdgeList(g, ss).ok());
+  auto back = ReadEdgeListFileFromString(ss.str(), "large");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->CollectEdges(), g.CollectEdges());
+}
+
+// Satellite regression for the sliced binary reader: a single row larger
+// than the 2^16-entry scratch slice must stream through the bounded
+// buffer and round-trip byte-exactly (the old reader sized its scratch
+// from the untrusted per-row degree).
+TEST(GraphIoTest, BinaryRowLargerThanScratchSliceRoundTrips) {
+  const size_t kLeaves = (1 << 16) + 1234;
+  std::vector<Edge> edges;
+  edges.reserve(kLeaves);
+  for (size_t i = 0; i < kLeaves; ++i) {
+    edges.push_back({0, static_cast<Vertex>(i + 1)});
+  }
+  const Digraph g = Digraph::FromEdges(kLeaves + 1, std::move(edges));
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteBinary(g, ss).ok());
+  auto back = ReadBinary(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->OutNeighbors(0).size(), kLeaves);
+  EXPECT_EQ(back->CollectEdges(), g.CollectEdges());
 }
 
 }  // namespace

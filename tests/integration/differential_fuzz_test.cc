@@ -4,7 +4,11 @@
 // a reproducible (family, seed, pair) triple. This complements the
 // exhaustive small-graph sweep with breadth across the random-seed space.
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "gtest/gtest.h"
 
@@ -17,6 +21,7 @@
 #include "graph/generators.h"
 #include "graph/topology.h"
 #include "query/workload.h"
+#include "util/mapped_blob.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -250,6 +255,76 @@ TEST_P(DifferentialFuzzTest, PrefilterWrappedMatchesBareOracle) {
                 << QueryMixName(mix) << " seed " << seed << " pair ("
                 << mismatch.from << "," << mismatch.to << ")";
           }
+        }
+      }
+    }
+  }
+}
+
+// The mapped (zero-copy) snapshot backing must be a pure storage change:
+// for every snapshot-capable oracle, the index loaded through LoadMapped
+// (labels served straight out of the mapped file bytes) answers the FULL
+// query matrix identically to both the freshly built oracle and its
+// owned-storage Load twin. This is the answer-identity leg of the mmap
+// load path; label_store_test pins the byte-level validation.
+TEST_P(DifferentialFuzzTest, MappedSnapshotMatchesOwnedAndBuiltAnswers) {
+  const uint64_t seed = GetParam();
+  const FuzzCase cases[] = {
+      {GraphFamily::kSparseRandom, 80, 200},
+      {GraphFamily::kStarForest, 90, 90},
+      {GraphFamily::kDenseLayers, 60, 360},
+  };
+  const auto make = [](const std::string& method)
+      -> std::unique_ptr<ReachabilityOracle> {
+    if (method == "DL+dyn") {
+      return std::make_unique<DynamicDistributionLabeling>();
+    }
+    return MakeOracle(method);
+  };
+  const char* methods[] = {"DL", "HL", "TF", "2HOP", "DL+dyn"};
+  for (const FuzzCase& c : cases) {
+    Digraph g = GenerateFamily(c.family, c.vertices, c.edges, seed * 911);
+    ASSERT_TRUE(IsDag(g)) << GraphFamilyName(c.family);
+    const size_t n = g.num_vertices();
+    for (const char* method : methods) {
+      std::unique_ptr<ReachabilityOracle> built = make(method);
+      ASSERT_NE(built, nullptr) << method;
+      ASSERT_TRUE(built->Build(g).ok()) << method << " seed " << seed;
+      ASSERT_TRUE(built->SupportsMappedSnapshot()) << method;
+      std::stringstream snapshot(std::ios::in | std::ios::out |
+                                 std::ios::binary);
+      ASSERT_TRUE(built->SaveIndex(snapshot).ok()) << method;
+      const std::string bytes = snapshot.str();
+
+      std::unique_ptr<ReachabilityOracle> owned = make(method);
+      std::istringstream owned_in(bytes);
+      ASSERT_TRUE(owned->Load(g, owned_in).ok()) << method << " seed "
+                                                 << seed;
+
+      const std::string path = ::testing::TempDir() + "/diff_fuzz." + method +
+                               "." + std::to_string(seed) + "." +
+                               GraphFamilyName(c.family) + ".snap";
+      {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        ASSERT_TRUE(out.good()) << path;
+      }
+      auto blob = MappedBlob::Open(path);
+      ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+      std::remove(path.c_str());
+      std::unique_ptr<ReachabilityOracle> mapped = make(method);
+      ASSERT_TRUE(mapped->LoadMapped(g, MappedRegion{*blob, 0}).ok())
+          << method << " seed " << seed;
+
+      for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = 0; v < n; ++v) {
+          const bool expected = built->Reachable(u, v);
+          ASSERT_EQ(owned->Reachable(u, v), expected)
+              << method << "/owned family " << GraphFamilyName(c.family)
+              << " seed " << seed << " pair (" << u << "," << v << ")";
+          ASSERT_EQ(mapped->Reachable(u, v), expected)
+              << method << "/mapped family " << GraphFamilyName(c.family)
+              << " seed " << seed << " pair (" << u << "," << v << ")";
         }
       }
     }

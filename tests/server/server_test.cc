@@ -20,6 +20,7 @@
 #include "gtest/gtest.h"
 #include "query/workload.h"
 #include "server/client.h"
+#include "util/mapped_blob.h"
 #include "util/rng.h"
 
 namespace reach {
@@ -406,6 +407,113 @@ TEST(ReachServerTest, ReloadUnderConcurrentBatchLoad) {
   EXPECT_EQ(reach_server.stats().malformed.load(), 0u);
   EXPECT_EQ(reach_server.stats().queries.load(),
             uint64_t{kClients} * kRounds * kQueriesEach);
+  reach_server.Stop();
+}
+
+TEST(ReachServerTest, MmapLoadedServerServesAndSurvivesReloadRace) {
+  // The zero-copy serving bar: a server started from --load-index serves
+  // straight off the snapshot mapping, exposes the load diagnostics over
+  // STATS, and survives clients racing RELOAD while the retiring index is
+  // mmap-backed — the mapping must stay alive until the last in-flight
+  // query on it finishes (ASan/TSan in CI check exactly that).
+  const Digraph graph = RandomDag(200, 600, 29);
+  ScopedSnapshotPath snap("mmap_reload_race.snap");
+  {
+    // Publish a snapshot from a build server, then retire it.
+    ReachServer builder;
+    ServerOptions options = QuickOptions("DL");
+    options.save_index_path = snap.get();
+    ASSERT_TRUE(builder.Start(graph, options).ok());
+    builder.Stop();
+  }
+
+  ReachServer reach_server;
+  ServerOptions options = QuickOptions("DL");
+  options.workers = 4;
+  options.load_index_path = snap.get();
+  ASSERT_TRUE(reach_server.Start(graph, options).ok());
+  EXPECT_TRUE(reach_server.loaded_from_snapshot());
+  // RandomDag is a DAG, so the lazy load must skip SCC condensation.
+  EXPECT_TRUE(reach_server.index()->identity_condensation());
+  EXPECT_EQ(reach_server.loaded_mmap(), MappedBlob::PlatformSupportsMmap());
+
+  // The publish diagnostics are visible over the wire.
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", reach_server.port()).ok());
+    const auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    bool saw_load_ms = false;
+    bool saw_rss = false;
+    for (const std::string& line : *stats) {
+      if (line.rfind("load_ms ", 0) == 0) saw_load_ms = true;
+      if (line.rfind("rss_kb ", 0) == 0) saw_rss = true;
+      if (line.rfind("mmap ", 0) == 0) {
+        EXPECT_EQ(line, MappedBlob::PlatformSupportsMmap() ? "mmap 1"
+                                                           : "mmap 0");
+      }
+      if (line.rfind("identity_scc ", 0) == 0) {
+        EXPECT_EQ(line, "identity_scc 1");
+      }
+    }
+    EXPECT_TRUE(saw_load_ms);
+    EXPECT_TRUE(saw_rss);
+    client.Close();
+  }
+
+  constexpr int kClients = 2;
+  constexpr int kRounds = 15;
+  constexpr size_t kQueriesEach = 300;
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> queries(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    std::tie(queries[c], expected[c]) =
+        MakeExpected(reach_server, kQueriesEach, 200, 8000 + c);
+  }
+  std::atomic<bool> queries_done{false};
+  std::atomic<int> reloads_ok{0};
+  std::atomic<int> reloads_bad{0};
+  std::vector<int> ok(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", reach_server.port()).ok()) return;
+      for (int round = 0; round < kRounds; ++round) {
+        const auto answers = client.Batch(queries[c]);
+        if (!answers.ok() || *answers != expected[c]) return;
+      }
+      ok[c] = 1;
+    });
+  }
+  std::thread reloader([&] {
+    // Every successful RELOAD retires an mmap-backed index under load and
+    // publishes a fresh mapping of the same snapshot.
+    Client client;
+    if (!client.Connect("127.0.0.1", reach_server.port()).ok()) {
+      reloads_bad.fetch_add(1);
+      return;
+    }
+    while (!queries_done.load()) {
+      const auto line = client.Reload(snap.get());
+      if (line.ok() && *line == "OK") {
+        reloads_ok.fetch_add(1);
+      } else {
+        reloads_bad.fetch_add(1);
+        return;
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  queries_done.store(true);
+  reloader.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(ok[c]) << "client " << c << " saw a wrong or failed batch";
+  }
+  EXPECT_GE(reloads_ok.load(), 1);
+  EXPECT_EQ(reloads_bad.load(), 0);
+  EXPECT_EQ(reach_server.stats().malformed.load(), 0u);
   reach_server.Stop();
 }
 

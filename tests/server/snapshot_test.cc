@@ -16,6 +16,7 @@
 #include "core/reachability.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "util/mapped_blob.h"
 
 namespace reach {
 namespace server {
@@ -180,6 +181,86 @@ TEST_F(SaveIndexSnapshotTest, UnwritablePathFailsCleanly) {
   EXPECT_TRUE(status.IsIOError());
   EXPECT_FALSE(FileExists(bad));
   EXPECT_FALSE(FileExists(bad + ".tmp"));
+}
+
+TEST_F(SaveIndexSnapshotTest, MappedLoadServesByteIdenticalAnswers) {
+  ASSERT_TRUE(SaveIndexSnapshot(path_, "DL", graph_.num_vertices(),
+                                graph_.num_edges(), index_->oracle())
+                  .ok());
+  bool mapped = false;
+  auto loaded = LoadIndexSnapshotFile(path_, "DL", graph_, MakeOracle("DL"),
+                                      nullptr, &mapped);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // DL is mapped-capable, so the capability matrix picks the zero-copy
+  // mapping whenever the platform has mmap at all.
+  EXPECT_EQ(mapped, MappedBlob::PlatformSupportsMmap());
+  // RandomDag is a DAG: the lazy identity load must skip condensation.
+  EXPECT_TRUE(loaded->identity_condensation());
+  for (Vertex u = 0; u < 60; ++u) {
+    for (Vertex v = 0; v < 60; ++v) {
+      ASSERT_EQ(loaded->Reachable(u, v), index_->Reachable(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST_F(SaveIndexSnapshotTest, LoadRejectsForeignMethodAndMissingFile) {
+  ASSERT_TRUE(SaveIndexSnapshot(path_, "DL", graph_.num_vertices(),
+                                graph_.num_edges(), index_->oracle())
+                  .ok());
+  // A DL snapshot must not load into an HL server.
+  EXPECT_FALSE(
+      LoadIndexSnapshotFile(path_, "HL", graph_, MakeOracle("HL")).ok());
+  // Nor into a DL server for a different graph shape.
+  const Digraph other = RandomDag(61, 180, 12);
+  EXPECT_FALSE(
+      LoadIndexSnapshotFile(path_, "DL", other, MakeOracle("DL")).ok());
+  // A missing file is an error, not a crash.
+  EXPECT_FALSE(LoadIndexSnapshotFile(path_ + ".missing", "DL", graph_,
+                                     MakeOracle("DL"))
+                   .ok());
+}
+
+TEST_F(SaveIndexSnapshotTest, LoadRejectsTruncatedSnapshotWithoutSigbus) {
+  // Truncation at every region of the file — inside the framing header,
+  // inside the label blob's own header, mid-offsets, and one byte short —
+  // must come back as a clean error from size arithmetic, never a fault
+  // from touching unmapped pages.
+  ASSERT_TRUE(SaveIndexSnapshot(path_, "DL", graph_.num_vertices(),
+                                graph_.num_edges(), index_->oracle())
+                  .ok());
+  const std::string bytes = ReadFileBytes(path_);
+  ASSERT_GT(bytes.size(), 200u);
+  const size_t cuts[] = {4,   20,  SnapshotHeaderBytes(2) - 1,
+                         SnapshotHeaderBytes(2) + 8,
+                         SnapshotHeaderBytes(2) + 40, bytes.size() / 2,
+                         bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    const std::string truncated_path = path_ + ".trunc";
+    {
+      std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+      ASSERT_TRUE(out.good());
+    }
+    EXPECT_FALSE(LoadIndexSnapshotFile(truncated_path, "DL", graph_,
+                                       MakeOracle("DL"))
+                     .ok())
+        << "cut at " << cut;
+    std::remove(truncated_path.c_str());
+  }
+  // Trailing garbage after the label blob is rejected too.
+  {
+    const std::string padded_path = path_ + ".trail";
+    std::ofstream out(padded_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.write("\0\0\0\0\0\0\0\0", 8);
+    ASSERT_TRUE(out.good());
+    out.close();
+    EXPECT_FALSE(
+        LoadIndexSnapshotFile(padded_path, "DL", graph_, MakeOracle("DL"))
+            .ok());
+    std::remove(padded_path.c_str());
+  }
 }
 
 }  // namespace

@@ -175,6 +175,11 @@ int main(int argc, char** argv) {
   }
 
   server::ReachServer reach_server;
+  // One line per index publish (startup and every RELOAD): load wall time,
+  // peak RSS, and whether the index serves zero-copy from a mapping.
+  options.info_log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
   const Status status = reach_server.Start(*graph, options);
   if (!status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -185,12 +190,17 @@ int main(int argc, char** argv) {
   if (reach_server.loaded_from_snapshot()) {
     std::fprintf(stderr,
                  "serving %s (%zu vertices, %zu edges) with %s: loaded "
-                 "index from %s in %.1f ms (%llu index integers); skipped "
-                 "construction\n",
+                 "index from %s in %.1f ms (%llu index integers, %s%s); "
+                 "skipped construction\n",
                  graph_path.c_str(), graph->num_vertices(),
                  graph->num_edges(), options.method.c_str(),
                  options.load_index_path.c_str(), build.build_millis,
-                 static_cast<unsigned long long>(build.index_integers));
+                 static_cast<unsigned long long>(build.index_integers),
+                 reach_server.loaded_mmap() ? "mmap zero-copy"
+                                            : "owned read",
+                 reach_server.index()->identity_condensation()
+                     ? ", SCC condensation skipped"
+                     : "");
   } else {
     std::fprintf(stderr,
                  "serving %s (%zu vertices, %zu edges) with %s: %llu index "
